@@ -1,0 +1,77 @@
+"""Robustness ablation: the headline conclusions are not knife-edge.
+
+Perturbs the most influential cost-model constants (memory latency, block
+launch cost, warp setup, DRAM efficiency) by +/-30% and checks the paper's
+qualitative conclusions survive on a representative dataset slice:
+
+* the Block Reorganizer beats the outer-product baseline on skewed data,
+* B-Gathering is the broadest single technique,
+* the outer-product baseline stays in the row-product's neighbourhood.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.runner import get_context
+from repro.bench.tables import geomean
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.gpusim.config import TITAN_XP
+from repro.gpusim.costs import CostModel
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+from repro.spgemm.rowproduct import RowProductSpGEMM
+
+DATASETS = ["filter3d", "mario002", "youtube", "as_caida", "slashdot"]
+
+PERTURBATIONS = [
+    {},
+    {"mem_latency": 650.0 * 0.7},
+    {"mem_latency": 650.0 * 1.3},
+    {"tb_launch_cycles": 450.0 * 0.7, "warp_setup_cycles": 110.0 * 0.7},
+    {"tb_launch_cycles": 450.0 * 1.3, "warp_setup_cycles": 110.0 * 1.3},
+    {"instr_per_product": 6.0 * 1.3},
+]
+
+GPU_PERTURBATIONS = [
+    {},
+    {"dram_efficiency": 0.5},
+    {"dram_efficiency": 0.9},
+]
+
+
+def _speedups(costs: CostModel, gpu) -> dict[str, float]:
+    sim = GPUSimulator(gpu, costs)
+    algos = {
+        "row": RowProductSpGEMM(costs),
+        "outer": OuterProductSpGEMM(costs),
+        "br": BlockReorganizer(costs),
+        "gather": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)
+        ),
+    }
+    per_algo: dict[str, list[float]] = {k: [] for k in algos}
+    for name in DATASETS:
+        ctx = get_context(name)
+        seconds = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
+        for k in algos:
+            per_algo[k].append(seconds["row"] / seconds[k])
+    return {k: geomean(v) for k, v in per_algo.items()}
+
+
+@pytest.mark.parametrize("overrides", PERTURBATIONS, ids=lambda o: str(o) or "default")
+def test_cost_perturbations_preserve_conclusions(benchmark, overrides):
+    costs = CostModel().with_overrides(**overrides)
+    result = benchmark.pedantic(lambda: _speedups(costs, TITAN_XP), rounds=1, iterations=1)
+    assert result["br"] > 1.05          # the contribution still wins
+    assert result["br"] > result["outer"]
+    assert result["gather"] > result["outer"] * 0.98  # gathering never hurts
+    assert 0.6 < result["outer"] < 1.6  # baselines stay comparable
+
+
+@pytest.mark.parametrize("gpu_overrides", GPU_PERTURBATIONS, ids=lambda o: str(o) or "default")
+def test_gpu_perturbations_preserve_conclusions(benchmark, gpu_overrides):
+    gpu = dataclasses.replace(TITAN_XP, **gpu_overrides)
+    result = benchmark.pedantic(lambda: _speedups(CostModel(), gpu), rounds=1, iterations=1)
+    assert result["br"] > 1.05
+    assert result["br"] > result["outer"]

@@ -1,0 +1,13 @@
+"""Bench regenerating Figure 9 (absolute GFLOPS, 28 real-world sets)."""
+
+from repro.bench.experiments import fig09_gflops
+from repro.bench.experiments.fig08_speedup import ALGO_ORDER
+
+
+def test_fig09_gflops(run_experiment):
+    result = run_experiment(fig09_gflops)
+    values = [result.gflops[(d, a)] for d in result.datasets for a in ALGO_ORDER]
+    # Paper's absolute band: spGEMM sits in single-to-low-double-digit GFLOPS.
+    assert all(0.0 < v < 40.0 for v in values)
+    best = max(values)
+    assert 5.0 < best < 40.0

@@ -1,0 +1,16 @@
+"""Bench regenerating Figure 11 (LBI vs splitting factor)."""
+
+from repro.bench.experiments import fig11_lbi
+
+
+def test_fig11_lbi(run_experiment):
+    result = run_experiment(fig11_lbi)
+    for name in result.datasets:
+        # LBI improves monotonically (within tolerance) with the factor and
+        # ends near 1 — the paper reports 0.17 -> 0.96 on average.
+        series = [result.lbi[(name, f)] for f in fig11_lbi.FACTORS]
+        assert series[-1] > 0.85
+        assert series[0] < 0.6
+        assert all(b >= a - 0.05 for a, b in zip(series, series[1:]))
+        # Splitting never slows the dominator execution down badly.
+        assert result.speedup[(name, 64)] > 0.9

@@ -1,0 +1,19 @@
+"""Bench regenerating Figure 13 (sync stalls before/after B-Gathering)."""
+
+from repro.bench.experiments import fig13_sync_stalls
+
+
+def test_fig13_sync_stalls(run_experiment):
+    result = run_experiment(fig13_sync_stalls)
+    improved = 0
+    for name in result.datasets:
+        before = result.before_pct[name]
+        after = result.after_pct[name]
+        assert 0.0 <= after <= 100.0 and 0.0 <= before <= 100.0
+        if after < before:
+            improved += 1
+    # Gathering removes the bulk of sync stalls on nearly every dataset.
+    assert improved >= len(result.datasets) - 2
+    mean_before = sum(result.before_pct.values()) / len(result.datasets)
+    mean_after = sum(result.after_pct.values()) / len(result.datasets)
+    assert mean_after < mean_before * 0.6

@@ -1,0 +1,26 @@
+"""Bench regenerating Figure 15 (scalability across GPU architectures)."""
+
+from repro.bench.experiments import fig15_scalability
+
+
+def test_fig15_scalability(run_experiment):
+    result = run_experiment(fig15_scalability)
+    br = {gpu: result.geomeans[(gpu, "block-reorganizer")] for gpu in result.gpus}
+    outer = {gpu: result.geomeans[(gpu, "outer-product")] for gpu in result.gpus}
+    # Paper: 1.43x on Titan Xp, 1.66x on V100, 1.40x on 2080 Ti; the outer
+    # baseline stays near the row baseline on every architecture.
+    for gpu in result.gpus:
+        assert br[gpu] > 1.15
+        assert 0.7 < outer[gpu] < 1.5
+        assert br[gpu] > outer[gpu]
+        # The Block Reorganizer is the fastest scheme on every architecture.
+        best = max(
+            result.geomeans[(gpu, a)]
+            for a in ["row-product", "outer-product", "cusparse", "cusp", "bhsparse", "mkl"]
+        )
+        assert br[gpu] > best
+    # Deviation from the paper (documented in EXPERIMENTS.md): the paper's BR
+    # lead is largest on the V100; in our simulator the wider GPUs lift the
+    # memory-floored baselines more, compressing — but never erasing — the
+    # lead.  The spread across GPUs stays bounded.
+    assert max(br.values()) / min(br.values()) < 1.5

@@ -1,0 +1,20 @@
+"""Bench regenerating Figure 16 (synthetic S/P/SP sets and C = A B pairs)."""
+
+from repro.bench.experiments import fig16_synthetic
+from repro.bench.tables import geomean
+
+
+def test_fig16_synthetic(run_experiment):
+    result = run_experiment(fig16_synthetic)
+    sp = result.speedups
+    # Skewness sweep: Block Reorganizer's edge grows with skew (p1 -> p4).
+    assert sp[("p4", "block-reorganizer")] > sp[("p1", "block-reorganizer")]
+    # Scalability sweep: the outer baseline collapses as matrices grow while
+    # Block Reorganizer holds close to the row baseline.
+    assert sp[("s4", "outer-product")] < 0.5
+    assert sp[("s4", "block-reorganizer")] > 2.0 * sp[("s4", "outer-product")]
+    # Small matrices: preprocessing-light schemes are competitive on s1.
+    assert sp[("s1", "cusparse")] > sp[("s4", "cusparse")]
+    # C = A B panel: Block Reorganizer gains on every pair (paper: 1.09x avg).
+    ab_gm = geomean(sp[(n, "block-reorganizer")] for n in result.b_datasets)
+    assert ab_gm > 1.0

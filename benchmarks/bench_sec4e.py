@@ -1,0 +1,17 @@
+"""Bench regenerating the Section IV-E YouTube walkthrough."""
+
+from repro.bench.experiments import sec4e_youtube
+
+
+def test_sec4e_youtube(run_experiment):
+    row = run_experiment(sec4e_youtube)
+    # Classification shares mirror the paper: a sliver of dominators, a large
+    # majority of low performers, a small set of limited rows.
+    assert row.n_dominators < 0.05 * row.n_pairs
+    assert row.n_underloaded > 0.5 * row.n_pairs
+    assert 0 < row.n_limited_rows
+    # Every technique helps on youtube; splitting restores SM utilisation.
+    for gain in row.gains.values():
+        assert gain > 1.0
+    assert row.sm_util_after_split > row.sm_util_before
+    assert row.sm_util_after_split > 0.9

@@ -1,0 +1,18 @@
+"""Benches regenerating Tables I-III of the paper."""
+
+from repro.bench.experiments import table1_systems, table2_datasets, table3_datasets
+
+
+def test_table1_systems(run_experiment):
+    rows = run_experiment(table1_systems)
+    assert len(rows) == 3
+
+
+def test_table2_datasets(run_experiment):
+    rows = run_experiment(table2_datasets)
+    assert len(rows) == 28
+
+
+def test_table3_datasets(run_experiment):
+    rows = run_experiment(table3_datasets)
+    assert len(rows) == 16

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one table/figure of the paper: it times the experiment
+via pytest-benchmark (one round — these are deterministic simulations, not
+noisy microbenchmarks) and prints the paper-style table so the numbers land
+in the bench log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_experiment(benchmark, capsys):
+    """Run an experiment module once under the benchmark timer and print its
+    formatted table."""
+
+    def _run(module, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: module.run(*args, **kwargs), rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(module.format_result(result))
+        return result
+
+    return _run

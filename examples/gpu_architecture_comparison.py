@@ -1,0 +1,55 @@
+"""Compare spGEMM schemes across GPU generations (the paper's Figure 15).
+
+Runs every scheme on one regular and one skewed network across the three
+evaluation GPUs (Titan Xp / Tesla V100 / RTX 2080 Ti) and prints how each
+architecture shifts the balance — more SMs make block-level imbalance more
+expensive, which is exactly where the Block Reorganizer's lead grows.
+
+Run:  python examples/gpu_architecture_comparison.py
+"""
+
+from repro.bench import format_table
+from repro.core import BlockReorganizer
+from repro.gpusim import ALL_GPUS, GPUSimulator
+from repro.sparse import banded_regular, power_law
+from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
+
+
+def main() -> None:
+    networks = {
+        "regular mesh": banded_regular(6_000, 24, seed=1).to_csr(),
+        "power-law net": power_law(6_000, 90_000, seed=2).to_csr(),
+    }
+    algorithms = [RowProductSpGEMM(), OuterProductSpGEMM(), BlockReorganizer()]
+
+    for label, a in networks.items():
+        ctx = MultiplyContext.build(a)
+        ctx.c_row_nnz  # run the symbolic pass once
+        rows = []
+        for gpu in ALL_GPUS:
+            sim = GPUSimulator(gpu)
+            seconds = {algo.name: algo.simulate(ctx, sim).total_seconds for algo in algorithms}
+            base = seconds["row-product"]
+            rows.append(
+                [gpu.name, base * 1e6]
+                + [base / seconds[algo.name] for algo in algorithms]
+            )
+        print(
+            format_table(
+                ["GPU", "row-product us"] + [a.name for a in algorithms],
+                rows,
+                title=f"\n{label}: nnz(A)={a.nnz}, nnz(C-hat)={ctx.total_work}",
+                col_width=15,
+            )
+        )
+
+    print(
+        "\nAcross the full 28-dataset suite (benchmarks/bench_fig15.py) the "
+        "Block Reorganizer's average lead is largest on the V100: more SMs "
+        "mean stragglers idle more silicon.  Single datasets vary — the "
+        "bigger GPUs also dilute a single network's dominator problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

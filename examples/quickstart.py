@@ -1,0 +1,58 @@
+"""Quickstart: multiply a sparse network with the Block Reorganizer.
+
+Generates a small power-law graph (the regime the paper targets), computes
+C = A^2 with the row-product baseline and the Block Reorganizer, verifies the
+results agree, and prints the simulated profile of both runs on a Titan Xp.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BlockReorganizer
+from repro.gpusim import GPUSimulator, TITAN_XP
+from repro.metrics import profile_report
+from repro.sparse import power_law
+from repro.spgemm import MultiplyContext, RowProductSpGEMM
+
+
+def main() -> None:
+    # 1. A sparse network: 5000 nodes, ~80k edges, power-law degrees.
+    a = power_law(5_000, 80_000, seed=42).to_csr()
+    print(f"A: {a.n_rows}x{a.n_cols}, nnz = {a.nnz}")
+
+    # 2. One context per multiplication problem (precalculates the
+    #    block-wise/row-wise workloads the paper's Section IV-B describes).
+    ctx = MultiplyContext.build(a)
+    print(f"intermediate products nnz(C-hat) = {ctx.total_work}")
+
+    # 3. Numeric plane: both schemes compute the exact same C.
+    baseline = RowProductSpGEMM()
+    reorganizer = BlockReorganizer()
+    c_base = baseline.multiply(ctx)
+    c_reorg = reorganizer.multiply(ctx)
+    assert c_reorg.allclose(c_base)
+    print(f"C: nnz = {c_base.nnz} (identical across schemes)")
+
+    # 4. Performance plane: simulate both on a Titan Xp and compare.
+    simulator = GPUSimulator(TITAN_XP)
+    for algo in (baseline, reorganizer):
+        stats = algo.simulate(ctx, simulator)
+        report = profile_report(stats)
+        print(
+            f"\n{algo.name} on {report.gpu}: "
+            f"{report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS"
+        )
+        for stage in report.stages:
+            print(
+                f"  {stage.stage:10s} {stage.seconds * 1e6:8.1f} us"
+                f"  LBI={stage.lbi:.2f}"
+                f"  sync stalls={stage.sync_stall_pct:.0f}%"
+                f"  L2 read={stage.l2_read_gbs:.0f} GB/s"
+            )
+
+    base_t = baseline.simulate(ctx, simulator).total_seconds
+    reorg_t = reorganizer.simulate(ctx, simulator).total_seconds
+    print(f"\nBlock Reorganizer speedup over row-product: {base_t / reorg_t:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

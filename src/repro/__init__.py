@@ -1,0 +1,17 @@
+"""Block Reorganizer: a reproduction of "Optimization of GPU-based Sparse
+Matrix Multiplication for Large Sparse Networks" (Lee et al., ICDE 2020).
+
+The public API lives in the subpackages:
+
+* :mod:`repro.sparse` — sparse matrix formats and generators.
+* :mod:`repro.datasets` — the paper's dataset catalog (stand-ins + synthetic).
+* :mod:`repro.gpusim` — the cycle-approximate GPU simulator.
+* :mod:`repro.spgemm` — spGEMM baselines and library comparators.
+* :mod:`repro.core` — the Block Reorganizer optimization pass (the paper's
+  contribution).
+* :mod:`repro.metrics` — LBI, GFLOPS and profiling metrics.
+* :mod:`repro.bench` — the experiment harness that regenerates every table and
+  figure of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,45 @@
+"""Graph-analytics applications built on the spGEMM engines.
+
+The paper's introduction motivates spGEMM with three SNS workloads —
+ranking, similarity computation, and link prediction / recommendation.  This
+subpackage implements all three against the library's public API, so any
+:class:`~repro.spgemm.base.SpGEMMAlgorithm` (including the Block Reorganizer)
+can serve as the multiplication engine.
+"""
+
+from repro.apps.pagerank import (
+    PageRankResult,
+    batched_personalized_pagerank,
+    pagerank,
+    transition_matrix,
+)
+from repro.apps.reachability import (
+    WalkCounts,
+    k_hop_reachability,
+    k_hop_walks,
+    recommend_by_paths,
+)
+from repro.apps.shortestpaths import k_hop_shortest_paths, single_source_distances
+from repro.apps.similarity import (
+    common_neighbors,
+    cosine_similarity,
+    jaccard_similarity,
+    top_similar_pairs,
+)
+
+__all__ = [
+    "PageRankResult",
+    "pagerank",
+    "transition_matrix",
+    "batched_personalized_pagerank",
+    "WalkCounts",
+    "k_hop_walks",
+    "k_hop_reachability",
+    "recommend_by_paths",
+    "k_hop_shortest_paths",
+    "single_source_distances",
+    "common_neighbors",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "top_similar_pairs",
+]

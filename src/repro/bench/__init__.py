@@ -1,0 +1,22 @@
+"""Bench harness: runner, tables and per-figure experiment modules."""
+
+from repro.bench.runner import (
+    BenchResult,
+    ablation_algorithms,
+    clear_context_cache,
+    get_context,
+    paper_algorithms,
+    run_matrix,
+)
+from repro.bench.tables import format_table, geomean
+
+__all__ = [
+    "BenchResult",
+    "ablation_algorithms",
+    "clear_context_cache",
+    "get_context",
+    "paper_algorithms",
+    "run_matrix",
+    "format_table",
+    "geomean",
+]

@@ -1,0 +1,41 @@
+"""Experiment modules: one per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning structured results,
+``format_result(...)`` rendering the paper's rows/series as an ASCII table,
+and ``main()`` for command-line use (``python -m
+repro.bench.experiments.fig08_speedup``).
+"""
+
+from repro.bench.experiments import (  # noqa: F401
+    fig03_motivation,
+    fig08_speedup,
+    fig09_gflops,
+    fig10_techniques,
+    fig11_lbi,
+    fig12_l2_split,
+    fig13_sync_stalls,
+    fig14_l2_limit,
+    fig15_scalability,
+    fig16_synthetic,
+    sec4e_youtube,
+    table1_systems,
+    table2_datasets,
+    table3_datasets,
+)
+
+__all__ = [
+    "fig03_motivation",
+    "fig08_speedup",
+    "fig09_gflops",
+    "fig10_techniques",
+    "fig11_lbi",
+    "fig12_l2_split",
+    "fig13_sync_stalls",
+    "fig14_l2_limit",
+    "fig15_scalability",
+    "fig16_synthetic",
+    "sec4e_youtube",
+    "table1_systems",
+    "table2_datasets",
+    "table3_datasets",
+]

@@ -1,0 +1,89 @@
+"""Figure 8: normalized speedup on the 28 real-world datasets.
+
+Runs the two baselines, the four libraries and the Block Reorganizer on every
+real-world dataset and prints speedups normalized to the row-product
+baseline, plus the geometric-mean row the paper quotes (Block Reorganizer
+1.43x; outer-product 0.95x; cuSPARSE 0.29x; CUSP 0.22x; bhSPARSE 0.55x;
+MKL 0.48x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import paper_algorithms, run_matrix
+from repro.bench.tables import format_table, geomean
+from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
+from repro.gpusim.config import GPUConfig, TITAN_XP
+
+__all__ = ["ALGO_ORDER", "Fig08Result", "run", "format_result", "main"]
+
+ALGO_ORDER = [
+    "row-product",
+    "outer-product",
+    "cusparse",
+    "cusp",
+    "bhsparse",
+    "mkl",
+    "block-reorganizer",
+]
+
+PAPER_GEOMEANS = {
+    "row-product": 1.0,
+    "outer-product": 0.95,
+    "cusparse": 0.29,
+    "cusp": 0.22,
+    "bhsparse": 0.55,
+    "mkl": 0.48,
+    "block-reorganizer": 1.43,
+}
+
+
+@dataclass(frozen=True)
+class Fig08Result:
+    """Speedups normalised to the row-product baseline."""
+
+    datasets: list[str]
+    speedups: dict[tuple[str, str], float]  # (dataset, algorithm) -> speedup
+
+    def geomeans(self) -> dict[str, float]:
+        return {
+            algo: geomean(self.speedups[(d, algo)] for d in self.datasets)
+            for algo in ALGO_ORDER
+        }
+
+
+def run(datasets: list[str] | None = None, gpu: GPUConfig = TITAN_XP) -> Fig08Result:
+    """Simulate all seven schemes on all datasets."""
+    datasets = datasets or ALL_REAL_WORLD
+    results = run_matrix(datasets, paper_algorithms(), gpu)
+    speedups = {}
+    for name in datasets:
+        base = results[(name, "row-product")].seconds
+        for algo in ALGO_ORDER:
+            speedups[(name, algo)] = base / results[(name, algo)].seconds
+    return Fig08Result(datasets=datasets, speedups=speedups)
+
+
+def format_result(result: Fig08Result) -> str:
+    """Render per-dataset speedups + geomean + the paper's reference row."""
+    rows = [
+        [name] + [result.speedups[(name, algo)] for algo in ALGO_ORDER]
+        for name in result.datasets
+    ]
+    gm = result.geomeans()
+    rows.append(["GEOMEAN"] + [gm[a] for a in ALGO_ORDER])
+    rows.append(["paper"] + [PAPER_GEOMEANS[a] for a in ALGO_ORDER])
+    return format_table(
+        ["dataset"] + ALGO_ORDER,
+        rows,
+        title="Fig 8: speedup over the row-product baseline (TITAN Xp)",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

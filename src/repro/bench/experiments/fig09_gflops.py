@@ -1,0 +1,62 @@
+"""Figure 9: absolute performance (GFLOPS) on the real-world datasets.
+
+Same matrix of runs as Figure 8, reported as absolute GFLOPS
+(2 x nnz(C-hat) / time).  The paper's numbers top out around 16 GFLOPS;
+shape fidelity means the same schemes lead on the same datasets and the
+magnitudes stay in the same single-to-low-double-digit band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import paper_algorithms, run_matrix
+from repro.bench.tables import format_table
+from repro.bench.experiments.fig08_speedup import ALGO_ORDER
+from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
+from repro.gpusim.config import GPUConfig, TITAN_XP
+
+__all__ = ["Fig09Result", "run", "format_result", "main"]
+
+
+@dataclass(frozen=True)
+class Fig09Result:
+    """Absolute GFLOPS per (dataset, algorithm)."""
+
+    datasets: list[str]
+    gflops: dict[tuple[str, str], float]
+
+
+def run(datasets: list[str] | None = None, gpu: GPUConfig = TITAN_XP) -> Fig09Result:
+    """Simulate all seven schemes and collect GFLOPS."""
+    datasets = datasets or ALL_REAL_WORLD
+    results = run_matrix(datasets, paper_algorithms(), gpu)
+    return Fig09Result(
+        datasets=datasets,
+        gflops={
+            (name, algo): results[(name, algo)].gflops
+            for name in datasets
+            for algo in ALGO_ORDER
+        },
+    )
+
+
+def format_result(result: Fig09Result) -> str:
+    """Render the GFLOPS table."""
+    rows = [
+        [name] + [result.gflops[(name, algo)] for algo in ALGO_ORDER]
+        for name in result.datasets
+    ]
+    return format_table(
+        ["dataset"] + ALGO_ORDER,
+        rows,
+        title="Fig 9: absolute performance in GFLOPS (TITAN Xp)",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Figure 10: relative performance of each technique.
+
+Runs B-Limiting, B-Splitting and B-Gathering in isolation (each applied to
+the outer-product baseline, as the paper does) plus the full Block
+Reorganizer, normalised to the outer-product baseline.  The paper's average
+gains are 1.05x, 1.05x, 1.28x and 1.51x respectively; the expected shape is
+that gathering helps nearly everywhere while splitting and limiting
+concentrate their (large) gains on the skewed Stanford sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import ablation_algorithms, get_context, run_matrix
+from repro.bench.tables import format_table, geomean
+from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
+from repro.gpusim.config import GPUConfig, TITAN_XP
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+
+__all__ = ["TECHNIQUES", "Fig10Result", "run", "format_result", "main"]
+
+TECHNIQUES = ["B-Limiting", "B-Splitting", "B-Gathering", "Block-Reorganizer"]
+
+PAPER_GEOMEANS = {
+    "B-Limiting": 1.05,
+    "B-Splitting": 1.05,
+    "B-Gathering": 1.28,
+    "Block-Reorganizer": 1.51,
+}
+
+
+@dataclass(frozen=True)
+class Fig10Result:
+    """Per-technique speedups over the outer-product baseline."""
+
+    datasets: list[str]
+    speedups: dict[tuple[str, str], float]
+
+    def geomeans(self) -> dict[str, float]:
+        return {
+            t: geomean(self.speedups[(d, t)] for d in self.datasets) for t in TECHNIQUES
+        }
+
+
+def run(datasets: list[str] | None = None, gpu: GPUConfig = TITAN_XP) -> Fig10Result:
+    """Simulate the ablation variants and the outer baseline."""
+    datasets = datasets or ALL_REAL_WORLD
+    sim = GPUSimulator(gpu)
+    variants = ablation_algorithms()
+    speedups = {}
+    for name in datasets:
+        ctx = get_context(name)
+        base = OuterProductSpGEMM().simulate(ctx, sim).total_seconds
+        for label, algo in variants.items():
+            speedups[(name, label)] = base / algo.simulate(ctx, sim).total_seconds
+    return Fig10Result(datasets=datasets, speedups=speedups)
+
+
+def format_result(result: Fig10Result) -> str:
+    """Render per-dataset technique speedups + geomeans."""
+    rows = [
+        [name] + [result.speedups[(name, t)] for t in TECHNIQUES]
+        for name in result.datasets
+    ]
+    gm = result.geomeans()
+    rows.append(["GEOMEAN"] + [gm[t] for t in TECHNIQUES])
+    rows.append(["paper"] + [PAPER_GEOMEANS[t] for t in TECHNIQUES])
+    return format_table(
+        ["dataset"] + TECHNIQUES,
+        rows,
+        title="Fig 10: per-technique speedup over the outer-product baseline",
+        col_width=17,
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

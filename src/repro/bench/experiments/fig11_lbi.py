@@ -1,0 +1,102 @@
+"""Figure 11: load-balancing effectiveness of B-Splitting.
+
+Sweeps the splitting factor from 1 to 64 on the Stanford (skewed) datasets
+and reports, for the *dominator* execution only (as the paper measures):
+the Load Balancing Index and the speedup over factor 1.  Expected shape: LBI
+climbs from ~0.2 toward ~0.95 as the factor approaches the SM count, and the
+most cache-sensitive sets keep improving past the SM count (the B-Splitting
+cache dividend of Section VI-A2).  The paper reports LBI 0.17 -> 0.96 and an
+8.68x average dominator speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import get_context
+from repro.bench.tables import format_table, geomean
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.datasets.stanford import STANFORD_NAMES
+from repro.gpusim.config import GPUConfig, TITAN_XP
+from repro.gpusim.simulator import GPUSimulator
+from repro.metrics.lbi import load_balancing_index
+
+__all__ = ["FACTORS", "Fig11Result", "run", "format_result", "main"]
+
+FACTORS = [1, 2, 4, 8, 16, 32, 64]
+
+
+@dataclass(frozen=True)
+class Fig11Result:
+    """Dominator-phase LBI and speedup per (dataset, factor)."""
+
+    datasets: list[str]
+    lbi: dict[tuple[str, int], float]
+    speedup: dict[tuple[str, int], float]  # vs factor 1
+
+
+def _dominator_phase(stats):
+    for p in stats.phases:
+        if p.name == "expansion-dominator":
+            return p
+    return None
+
+
+def run(datasets: list[str] | None = None, gpu: GPUConfig = TITAN_XP) -> Fig11Result:
+    """Sweep splitting factors over the skewed datasets."""
+    datasets = datasets or list(STANFORD_NAMES)
+    sim = GPUSimulator(gpu)
+    lbi: dict[tuple[str, int], float] = {}
+    speedup: dict[tuple[str, int], float] = {}
+    kept = []
+    for name in datasets:
+        ctx = get_context(name)
+        base_cycles = None
+        rows = {}
+        for factor in FACTORS:
+            algo = BlockReorganizer(
+                options=ReorganizerOptions(splitting_factor=factor, enable_limiting=False)
+            )
+            stats = algo.simulate(ctx, sim)
+            phase = _dominator_phase(stats)
+            if phase is None:  # dataset produced no dominators
+                rows = {}
+                break
+            rows[factor] = (load_balancing_index(phase.sm_busy_cycles), phase.makespan_cycles)
+            if factor == 1:
+                base_cycles = phase.makespan_cycles
+        if not rows:
+            continue
+        kept.append(name)
+        for factor, (l, cycles) in rows.items():
+            lbi[(name, factor)] = l
+            speedup[(name, factor)] = base_cycles / cycles
+    return Fig11Result(datasets=kept, lbi=lbi, speedup=speedup)
+
+
+def format_result(result: Fig11Result) -> str:
+    """Render LBI and speedup tables over the factor sweep."""
+    lbi_rows = [
+        [name] + [result.lbi[(name, f)] for f in FACTORS] for name in result.datasets
+    ]
+    sp_rows = [
+        [name] + [result.speedup[(name, f)] for f in FACTORS] for name in result.datasets
+    ]
+    sp_rows.append(
+        ["GEOMEAN"] + [geomean(result.speedup[(n, f)] for n in result.datasets) for f in FACTORS]
+    )
+    headers = ["dataset"] + [f"x{f}" for f in FACTORS]
+    return "\n".join(
+        [
+            format_table(headers, lbi_rows, title="Fig 11: dominator-phase LBI vs splitting factor", col_width=7),
+            format_table(headers, sp_rows, title="\nFig 11: dominator speedup vs splitting factor (factor 1 = 1.0)", col_width=7),
+        ]
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Figure 13: sync-stall reduction from B-Gathering.
+
+Profiles the expansion stage's synchronisation-stall percentage (idle
+lock-step lanes waiting on effective lanes — what nvprof attributes to
+``__syncthreads``/barriers) before gathering (outer-product baseline, fixed
+block size) and after (Block Reorganizer with B-Gathering).  The paper shows
+the stall share collapsing once combined blocks fill their warps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import get_context
+from repro.bench.tables import format_table
+from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.gpusim.config import GPUConfig, TITAN_XP
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+
+__all__ = ["Fig13Result", "run", "format_result", "main"]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    """Expansion-stage sync-stall percentage before/after gathering."""
+
+    datasets: list[str]
+    before_pct: dict[str, float]
+    after_pct: dict[str, float]
+
+
+def _expansion_stall_pct(stats) -> float:
+    phases = [p for p in stats.phases if p.stage == "expansion"]
+    busy = sum(p.busy_cycles for p in phases)
+    stall = sum(p.sync_stall_cycles for p in phases)
+    return 100.0 * stall / busy if busy > 0 else 0.0
+
+
+def run(datasets: list[str] | None = None, gpu: GPUConfig = TITAN_XP) -> Fig13Result:
+    """Profile stall percentages for baseline and gathered expansion."""
+    datasets = datasets or ALL_REAL_WORLD
+    sim = GPUSimulator(gpu)
+    baseline = OuterProductSpGEMM()
+    gathered = BlockReorganizer(
+        options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)
+    )
+    before, after = {}, {}
+    for name in datasets:
+        ctx = get_context(name)
+        before[name] = _expansion_stall_pct(baseline.simulate(ctx, sim))
+        after[name] = _expansion_stall_pct(gathered.simulate(ctx, sim))
+    return Fig13Result(datasets=datasets, before_pct=before, after_pct=after)
+
+
+def format_result(result: Fig13Result) -> str:
+    """Render before/after stall percentages."""
+    rows = [
+        [name, result.before_pct[name], result.after_pct[name],
+         result.before_pct[name] - result.after_pct[name]]
+        for name in result.datasets
+    ]
+    return format_table(
+        ["dataset", "stall% before", "stall% after", "reduction"],
+        rows,
+        title="Fig 13: expansion sync stalls before/after B-Gathering",
+        col_width=14,
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

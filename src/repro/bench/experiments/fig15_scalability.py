@@ -1,0 +1,72 @@
+"""Figure 15: performance scalability on different GPU architectures.
+
+Runs the full real-world suite on Titan Xp (Pascal), Tesla V100 (Volta) and
+RTX 2080 Ti (Turing) and reports each scheme's geometric-mean speedup over
+the row-product baseline per GPU.  The paper reports Block Reorganizer at
+1.43x / 1.66x / 1.40x respectively — largest on the V100, whose 80 SMs make
+block-level imbalance the most expensive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import paper_algorithms, run_matrix
+from repro.bench.tables import format_table, geomean
+from repro.bench.experiments.fig08_speedup import ALGO_ORDER
+from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
+from repro.gpusim.config import ALL_GPUS, GPUConfig
+
+__all__ = ["Fig15Result", "run", "format_result", "main"]
+
+PAPER_BR = {"TITAN Xp": 1.43, "Tesla V100": 1.66, "RTX 2080 Ti": 1.40}
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    """Geomean speedup over row-product, per GPU and algorithm."""
+
+    gpus: list[str]
+    geomeans: dict[tuple[str, str], float]  # (gpu, algorithm)
+
+
+def run(
+    datasets: list[str] | None = None, gpus: tuple[GPUConfig, ...] = ALL_GPUS
+) -> Fig15Result:
+    """Run the full matrix on every GPU."""
+    datasets = datasets or ALL_REAL_WORLD
+    out: dict[tuple[str, str], float] = {}
+    for gpu in gpus:
+        results = run_matrix(datasets, paper_algorithms(), gpu)
+        for algo in ALGO_ORDER:
+            out[(gpu.name, algo)] = geomean(
+                results[(d, "row-product")].seconds / results[(d, algo)].seconds
+                for d in datasets
+            )
+    return Fig15Result(gpus=[g.name for g in gpus], geomeans=out)
+
+
+def format_result(result: Fig15Result) -> str:
+    """Render per-GPU geomean speedups."""
+    rows = []
+    for gpu in result.gpus:
+        rows.append([gpu] + [result.geomeans[(gpu, a)] for a in ALGO_ORDER])
+    rows.append(
+        ["paper (BR only)"]
+        + [PAPER_BR.get(gpu) if a == "block-reorganizer" else float("nan")
+           for gpu in ["TITAN Xp"] for a in ALGO_ORDER]
+    )
+    return format_table(
+        ["GPU"] + ALGO_ORDER,
+        rows[:-1],
+        title="Fig 15: geomean speedup over row-product per GPU "
+        f"(paper BR: {PAPER_BR})",
+    )
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Figure 16: synthetic datasets.
+
+Panel (a): ``C = A^2`` on the Table III S (scalability), P (skewness) and SP
+(sparsity) families.  Expected shapes: cuSPARSE wins the smallest set (s1,
+where Block Reorganizer's preprocessing dominates); Block Reorganizer pulls
+ahead as size, skew or sparsity grow, with splitting/limiting driving the
+skewness wins.
+
+Panel (b): ``C = A B`` on Graph500 R-MAT pairs; the paper reports a 1.09x
+average Block Reorganizer gain, mostly from gathering (AB outputs are denser,
+so fewer dominators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import paper_algorithms, run_matrix
+from repro.bench.tables import format_table, geomean
+from repro.bench.experiments.fig08_speedup import ALGO_ORDER
+from repro.datasets.synthetic import AB_NAMES, P_NAMES, S_NAMES, SP_NAMES
+from repro.gpusim.config import GPUConfig, TITAN_XP
+
+__all__ = ["Fig16Result", "run", "format_result", "main"]
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    """Speedups over row-product for panels (a) and (b)."""
+
+    a_datasets: list[str]
+    b_datasets: list[str]
+    speedups: dict[tuple[str, str], float]
+
+
+def run(
+    a_datasets: list[str] | None = None,
+    b_datasets: list[str] | None = None,
+    gpu: GPUConfig = TITAN_XP,
+) -> Fig16Result:
+    """Run all seven schemes over both synthetic panels."""
+    a_datasets = a_datasets if a_datasets is not None else S_NAMES + P_NAMES + SP_NAMES
+    b_datasets = b_datasets if b_datasets is not None else list(AB_NAMES)
+    results = run_matrix(a_datasets + b_datasets, paper_algorithms(), gpu)
+    speedups = {}
+    for name in a_datasets + b_datasets:
+        base = results[(name, "row-product")].seconds
+        for algo in ALGO_ORDER:
+            speedups[(name, algo)] = base / results[(name, algo)].seconds
+    return Fig16Result(a_datasets=a_datasets, b_datasets=b_datasets, speedups=speedups)
+
+
+def format_result(result: Fig16Result) -> str:
+    """Render both panels."""
+    parts = []
+    if result.a_datasets:
+        rows = [[n] + [result.speedups[(n, a)] for a in ALGO_ORDER] for n in result.a_datasets]
+        parts.append(format_table(["dataset"] + ALGO_ORDER, rows,
+                                  title="Fig 16(a): C = A^2 on synthetic S/P/SP sets "
+                                        "(speedup over row-product)"))
+    if result.b_datasets:
+        rows = [[n] + [result.speedups[(n, a)] for a in ALGO_ORDER] for n in result.b_datasets]
+        rows.append(
+            ["GEOMEAN"]
+            + [geomean(result.speedups[(n, a)] for n in result.b_datasets) for a in ALGO_ORDER]
+        )
+        parts.append(format_table(["dataset"] + ALGO_ORDER, rows,
+                                  title="\nFig 16(b): C = A B on Graph500 pairs "
+                                        "(paper: Block Reorganizer 1.09x average)"))
+    return "\n".join(parts)
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Section IV-E walkthrough: putting it all together on YouTube.
+
+Reproduces the paper's worked example: classification counts (the paper
+finds 713 dominator pairs, 362 736 low performers, 12 657 limited rows on
+the full-size youtube graph — our stand-in is ~1/27 linear scale, so counts
+shrink proportionally while the *shares* stay comparable), then the
+incremental gain of each technique over the outer-product baseline and the
+combined Block Reorganizer gain (paper: +10.4% splitting with SM utilisation
+16% -> 99%, +6.7% gathering, +16.8% limiting, +41.5% combined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.runner import ablation_algorithms, get_context
+from repro.bench.tables import format_table
+from repro.gpusim.config import GPUConfig, TITAN_XP
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+
+__all__ = ["Sec4ERow", "run", "format_result", "main"]
+
+PAPER_GAINS = {
+    "B-Splitting": 1.104,
+    "B-Gathering": 1.067,
+    "B-Limiting": 1.168,
+    "Block-Reorganizer": 1.415,
+}
+
+
+@dataclass(frozen=True)
+class Sec4ERow:
+    """Classification counts + per-technique gains for one dataset."""
+
+    dataset: str
+    n_pairs: int
+    n_dominators: int
+    n_underloaded: int
+    n_limited_rows: int
+    sm_util_before: float
+    sm_util_after_split: float
+    gains: dict[str, float]
+
+
+def run(dataset: str = "youtube", gpu: GPUConfig = TITAN_XP) -> Sec4ERow:
+    """Run the walkthrough on the (stand-in) YouTube graph."""
+    ctx = get_context(dataset)
+    sim = GPUSimulator(gpu)
+    base_stats = OuterProductSpGEMM().simulate(ctx, sim)
+    base = base_stats.total_seconds
+
+    gains = {}
+    meta = {}
+    split_util = float("nan")
+    for label, algo in ablation_algorithms().items():
+        stats = algo.simulate(ctx, sim)
+        gains[label] = base / stats.total_seconds
+        if label == "Block-Reorganizer":
+            meta = stats.meta
+        if label == "B-Splitting":
+            split_util = stats.sm_utilization("expansion")
+    return Sec4ERow(
+        dataset=dataset,
+        n_pairs=int((ctx.pair_work > 0).sum()),
+        n_dominators=int(meta.get("n_dominators", 0)),
+        n_underloaded=int(meta.get("n_underloaded", 0)),
+        n_limited_rows=int(meta.get("n_limited_rows", 0)),
+        sm_util_before=base_stats.sm_utilization("expansion"),
+        sm_util_after_split=split_util,
+        gains=gains,
+    )
+
+
+def format_result(row: Sec4ERow) -> str:
+    """Render the walkthrough."""
+    lines = [
+        f"Section IV-E walkthrough on {row.dataset!r} (stand-in)",
+        f"  non-empty pairs:       {row.n_pairs}",
+        f"  dominator pairs:       {row.n_dominators}"
+        f"  ({100.0 * row.n_dominators / max(row.n_pairs, 1):.2f}% — paper: 713 of ~1.1M)",
+        f"  low-performer pairs:   {row.n_underloaded}"
+        f"  ({100.0 * row.n_underloaded / max(row.n_pairs, 1):.1f}% — paper: 362736)",
+        f"  B-Limited rows:        {row.n_limited_rows}  (paper: 12657)",
+        f"  expansion SM util:     {row.sm_util_before * 100:.0f}% -> "
+        f"{row.sm_util_after_split * 100:.0f}% after B-Splitting (paper: 16% -> 99%)",
+    ]
+    table = format_table(
+        ["technique", "gain (ours)", "gain (paper)"],
+        [[k, row.gains[k], PAPER_GAINS[k]] for k in PAPER_GAINS],
+        title="",
+        col_width=12,
+    )
+    return "\n".join(lines) + "\n" + table
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Table I: target system configurations.
+
+Prints the three evaluation systems exactly as the paper tabulates them,
+from the :mod:`repro.gpusim.config` constants the simulator runs on.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import format_table
+from repro.gpusim.config import SYSTEM_1, SYSTEM_2, SYSTEM_3
+
+__all__ = ["run", "format_result", "main"]
+
+
+def run() -> list[dict]:
+    """Collect the rows of Table I."""
+    rows = []
+    for label, (cpu, gpu) in (("System 1", SYSTEM_1), ("System 2", SYSTEM_2), ("System 3", SYSTEM_3)):
+        rows.append(
+            {
+                "system": label,
+                "cpu": cpu.name,
+                "cores/threads": f"{cpu.cores}/{cpu.threads}",
+                "cpu_clock_ghz": cpu.clock_ghz,
+                "gpu": gpu.name,
+                "n_sms": gpu.n_sms,
+                "gpu_clock_mhz": gpu.clock_mhz,
+                "cc": gpu.compute_capability,
+            }
+        )
+    return rows
+
+
+def format_result(rows: list[dict]) -> str:
+    """Render Table I."""
+    headers = ["System", "CPU", "C/T", "CPU GHz", "GPU", "SMs", "GPU MHz", "CC"]
+    table_rows = [
+        [r["system"], r["cpu"], r["cores/threads"], r["cpu_clock_ghz"], r["gpu"],
+         r["n_sms"], float(r["gpu_clock_mhz"]), r["cc"]]
+        for r in rows
+    ]
+    return format_table(headers, table_rows, title="Table I: target system configurations",
+                        first_col_width=10, col_width=16)
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

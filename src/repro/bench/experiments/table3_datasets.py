@@ -1,0 +1,61 @@
+"""Table III: synthetic datasets.
+
+Prints the S (scalability), P (skewness), SP (sparsity) and AB (C = A B)
+families with their R-MAT parameters and the realised stand-in statistics
+(dimensions are scaled down by ``SYNTH_SCALE``; AB scales shift by
+``AB_SCALE_SHIFT`` — both recorded in the table).
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import get_context
+from repro.bench.tables import format_table
+from repro.datasets.catalog import get_spec
+from repro.datasets.synthetic import AB_NAMES, P_NAMES, S_NAMES, SP_NAMES
+
+__all__ = ["run", "format_result", "main", "ALL_SYNTHETIC"]
+
+ALL_SYNTHETIC = S_NAMES + P_NAMES + SP_NAMES + AB_NAMES
+
+
+def run(datasets: list[str] | None = None) -> list[dict]:
+    """Collect per-set parameters and realised statistics."""
+    rows = []
+    for name in datasets or ALL_SYNTHETIC:
+        spec = get_spec(name)
+        ctx = get_context(name)
+        params = spec.params.get("probs", spec.params)
+        rows.append(
+            {
+                "name": name,
+                "operation": spec.operation,
+                "paper_dim": spec.paper_dim,
+                "paper_nnz": spec.paper_nnz_a,
+                "dim": ctx.a_csr.n_rows,
+                "nnz_a": ctx.a_csr.nnz,
+                "nnz_chat": ctx.total_work,
+                "params": str(params),
+            }
+        )
+    return rows
+
+
+def format_result(rows: list[dict]) -> str:
+    """Render Table III."""
+    headers = ["name", "op", "paper dim", "paper nnz", "dim", "nnz(A)", "nnz(Chat)", "parameters"]
+    table_rows = [
+        [r["name"], r["operation"], r["paper_dim"], r["paper_nnz"],
+         r["dim"], r["nnz_a"], r["nnz_chat"], r["params"]]
+        for r in rows
+    ]
+    return format_table(headers, table_rows,
+                        title="Table III: synthetic datasets (paper sizes vs scaled stand-ins)",
+                        col_width=11)
+
+
+def main() -> None:
+    print(format_result(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+"""Bench runner: evaluate algorithms over datasets and GPUs.
+
+Centralises the expensive parts — dataset generation and the per-dataset
+:class:`MultiplyContext` (whose symbolic pass costs one full expansion) — so
+every experiment module reuses them.  All experiments in
+:mod:`repro.bench.experiments` go through :func:`run_matrix` or
+:func:`get_context`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.loader import load
+from repro.gpusim.config import GPUConfig, TITAN_XP
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.stats import KernelStats
+from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+from repro.spgemm.rowproduct import RowProductSpGEMM
+from repro.spgemm.libraries import (
+    BhSparseSpGEMM,
+    CuspSpGEMM,
+    CuSparseSpGEMM,
+    MklSpGEMM,
+)
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+
+__all__ = [
+    "BenchResult",
+    "get_context",
+    "clear_context_cache",
+    "paper_algorithms",
+    "ablation_algorithms",
+    "run_matrix",
+]
+
+_CTX_CACHE: dict[str, MultiplyContext] = {}
+
+
+def get_context(dataset_name: str) -> MultiplyContext:
+    """Load a dataset and build (or reuse) its multiply context."""
+    if dataset_name not in _CTX_CACHE:
+        ds = load(dataset_name)
+        ctx = MultiplyContext.build(ds.a, ds.b, a_csc=ds.a_csc)
+        ctx.c_row_nnz  # force the symbolic pass once, outside any timing
+        _CTX_CACHE[dataset_name] = ctx
+    return _CTX_CACHE[dataset_name]
+
+
+def clear_context_cache() -> None:
+    """Drop cached contexts (benches over many datasets bound memory)."""
+    _CTX_CACHE.clear()
+
+
+def paper_algorithms(costs: CostModel = DEFAULT_COSTS) -> list[SpGEMMAlgorithm]:
+    """The seven schemes of Figures 8/9, in the paper's legend order."""
+    return [
+        RowProductSpGEMM(costs),
+        OuterProductSpGEMM(costs),
+        CuSparseSpGEMM(costs),
+        CuspSpGEMM(costs),
+        BhSparseSpGEMM(costs),
+        MklSpGEMM(costs),
+        BlockReorganizer(costs),
+    ]
+
+
+def ablation_algorithms(costs: CostModel = DEFAULT_COSTS) -> dict[str, SpGEMMAlgorithm]:
+    """Per-technique variants of Figure 10 (plus the full Reorganizer)."""
+    return {
+        "B-Limiting": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)
+        ),
+        "B-Splitting": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)
+        ),
+        "B-Gathering": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)
+        ),
+        "Block-Reorganizer": BlockReorganizer(costs),
+    }
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One (algorithm, dataset, GPU) measurement."""
+
+    dataset: str
+    algorithm: str
+    gpu: str
+    seconds: float
+    gflops: float
+    stats: KernelStats
+
+    def speedup_over(self, baseline: "BenchResult") -> float:
+        """Wall-time speedup of this result relative to ``baseline``."""
+        return baseline.seconds / self.seconds if self.seconds > 0 else float("inf")
+
+
+def run_matrix(
+    datasets: list[str],
+    algorithms: list[SpGEMMAlgorithm],
+    gpu: GPUConfig = TITAN_XP,
+    costs: CostModel | None = None,
+) -> dict[tuple[str, str], BenchResult]:
+    """Simulate every algorithm on every dataset.
+
+    Returns a dict keyed by ``(dataset, algorithm-name)``.
+    """
+    simulator = GPUSimulator(gpu, costs or DEFAULT_COSTS)
+    results: dict[tuple[str, str], BenchResult] = {}
+    for name in datasets:
+        ctx = get_context(name)
+        for algo in algorithms:
+            stats = algo.simulate(ctx, simulator)
+            results[(name, algo.name)] = BenchResult(
+                dataset=name,
+                algorithm=algo.name,
+                gpu=gpu.name,
+                seconds=stats.total_seconds,
+                gflops=stats.gflops,
+                stats=stats,
+            )
+    return results

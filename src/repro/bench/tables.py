@@ -1,0 +1,52 @@
+"""ASCII table formatting for bench output.
+
+The experiment modules print the same rows/series the paper's figures plot;
+this module renders them consistently (fixed-width columns, geometric means
+where the paper averages speedups).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "geomean"]
+
+
+def geomean(values) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0 or np.any(arr <= 0):
+        return float("nan")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        return f"{value:>{width}.2f}"
+    return f"{str(value):>{width}}"
+
+
+def format_table(
+    headers: list[str],
+    rows: list[list],
+    *,
+    title: str | None = None,
+    first_col_width: int = 18,
+    col_width: int = 10,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    lines = []
+    if title:
+        lines.append(title)
+    widths = [first_col_width] + [max(col_width, len(h)) for h in headers[1:]]
+    lines.append("  ".join(f"{h:>{w}}" if i else f"{h:<{w}}" for i, (h, w) in enumerate(zip(headers, widths))))
+    lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        cells = []
+        for i, (value, width) in enumerate(zip(row, widths)):
+            if i == 0:
+                cells.append(f"{str(value):<{width}}")
+            else:
+                cells.append(_fmt(value, width))
+        lines.append("  ".join(cells))
+    return "\n".join(lines)

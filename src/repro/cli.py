@@ -1,0 +1,139 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``datasets``          — list the catalog (paper stats + generator class).
+* ``run``               — simulate one algorithm on one dataset and print the
+                          profile (optionally dump JSON).
+* ``compare``           — all seven schemes on one dataset, speedup table.
+* ``experiment``        — regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.bench.runner import get_context, paper_algorithms, run_matrix
+from repro.bench.tables import format_table
+from repro.datasets.catalog import list_specs
+from repro.errors import ReproError
+from repro.gpusim.config import ALL_GPUS, TITAN_XP
+from repro.gpusim.export import stats_to_json
+from repro.gpusim.simulator import GPUSimulator
+from repro.metrics.profiling import profile_report
+
+__all__ = ["main"]
+
+_EXPERIMENTS = [
+    "table1_systems", "table2_datasets", "table3_datasets",
+    "fig03_motivation", "fig08_speedup", "fig09_gflops", "fig10_techniques",
+    "fig11_lbi", "fig12_l2_split", "fig13_sync_stalls", "fig14_l2_limit",
+    "fig15_scalability", "fig16_synthetic", "sec4e_youtube",
+]
+
+
+def _gpu_by_name(name: str):
+    for gpu in ALL_GPUS:
+        if gpu.name.lower().replace(" ", "") == name.lower().replace(" ", ""):
+            return gpu
+    raise ReproError(f"unknown GPU {name!r}; known: {[g.name for g in ALL_GPUS]}")
+
+
+def _algo_by_name(name: str):
+    for algo in paper_algorithms():
+        if algo.name == name:
+            return algo
+    raise ReproError(
+        f"unknown algorithm {name!r}; known: {[a.name for a in paper_algorithms()]}"
+    )
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    rows = [
+        [s.name, s.collection, s.operation, s.generator, s.paper_dim, s.paper_nnz_a]
+        for s in list_specs(args.collection)
+    ]
+    print(format_table(
+        ["name", "collection", "op", "generator", "paper dim", "paper nnz(A)"], rows
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ctx = get_context(args.dataset)
+    algo = _algo_by_name(args.algorithm)
+    sim = GPUSimulator(_gpu_by_name(args.gpu))
+    stats = algo.simulate(ctx, sim)
+    if args.json:
+        print(stats_to_json(stats))
+        return 0
+    report = profile_report(stats)
+    print(f"{report.algorithm} on {report.gpu} / {args.dataset}:")
+    print(f"  total {report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS")
+    for stage in report.stages:
+        print(
+            f"  {stage.stage:10s} {stage.seconds * 1e6:9.1f} us  LBI={stage.lbi:.2f}  "
+            f"stalls={stage.sync_stall_pct:.0f}%  L2 read={stage.l2_read_gbs:.0f} GB/s"
+        )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    gpu = _gpu_by_name(args.gpu)
+    results = run_matrix([args.dataset], paper_algorithms(), gpu)
+    base = results[(args.dataset, "row-product")].seconds
+    rows = [
+        [algo.name, res.seconds * 1e6, res.gflops, base / res.seconds]
+        for algo in paper_algorithms()
+        for res in [results[(args.dataset, algo.name)]]
+    ]
+    print(format_table(
+        ["algorithm", "time us", "GFLOPS", "speedup"], rows,
+        title=f"{args.dataset} on {gpu.name} (speedup vs row-product)",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module = importlib.import_module(f"repro.bench.experiments.{args.name}")
+    module.main()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list the dataset catalog")
+    p.add_argument("--collection", choices=["florida", "stanford", "synthetic"], default=None)
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("run", help="simulate one algorithm on one dataset")
+    p.add_argument("dataset")
+    p.add_argument("--algorithm", default="block-reorganizer")
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    p.add_argument("--json", action="store_true", help="dump raw counters as JSON")
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("compare", help="all schemes on one dataset")
+    p.add_argument("dataset")
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=_EXPERIMENTS)
+    p.set_defaults(func=_cmd_experiment)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

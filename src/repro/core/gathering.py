@@ -1,0 +1,112 @@
+"""B-Gathering (Section IV-C2): combine underloaded blocks.
+
+Underloaded pairs (fewer effective threads than a warp) are first compacted
+into *micro-blocks* — same results, only as many threads as are effective —
+then binned by effective-thread range.  Bin ``n`` holds pairs with
+``2^(n-1) < nnz(b_{k*}) <= 2^n``; its gathering factor is ``32 / 2^n``, so a
+combined block always fills one 32-lane warp with (up to) ``32/2^n``
+partitions.  Pairs already in the 17..32 range are not gathered (factor 1),
+matching the paper's "bin 3 is not gathered to avoid serialization".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GatherPlan", "gathering_factor", "plan_gathering"]
+
+
+@dataclass(frozen=True)
+class GatherPlan:
+    """Result of planning B-Gathering over the underloaded pairs.
+
+    One entry per *combined* block.  Aggregates are what the trace builder
+    needs; ``group_of_pair`` maps each underloaded pair to its combined block
+    (tests use it to verify no pair is lost or duplicated).
+    """
+
+    effective_threads: np.ndarray
+    iters: np.ndarray
+    ops: np.ndarray
+    na_sum: np.ndarray
+    nb_sum: np.ndarray
+    partitions: np.ndarray
+    group_of_pair: np.ndarray
+    pair_ids: np.ndarray
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.ops)
+
+
+def gathering_factor(nb: np.ndarray, warp_size: int = 32) -> np.ndarray:
+    """Gathering factor per underloaded pair: ``warp / 2^ceil(log2(nb))``."""
+    nb = np.asarray(nb, dtype=np.int64)
+    if np.any(nb <= 0) or np.any(nb > warp_size):
+        raise ConfigurationError("gathering expects 1 <= nb <= warp size")
+    bin_pow = np.ceil(np.log2(np.maximum(nb, 1))).astype(np.int64)  # nb=1 -> 0
+    return (warp_size >> bin_pow).astype(np.int64)
+
+
+def plan_gathering(
+    na: np.ndarray,
+    nb: np.ndarray,
+    underloaded_mask: np.ndarray,
+    *,
+    warp_size: int = 32,
+) -> GatherPlan:
+    """Bin underloaded pairs and combine each bin in groups of its factor.
+
+    Pairs keep classification order inside each bin; groups of ``factor``
+    consecutive pairs form one combined block.  A combined block's critical
+    path is the *maximum* partition length (partitions occupy disjoint lanes
+    and run concurrently); its useful work is the sum.
+    """
+    pair_ids = np.flatnonzero(underloaded_mask)
+    zi = np.zeros(0, dtype=np.int64)
+    if len(pair_ids) == 0:
+        return GatherPlan(zi, zi.astype(float), zi, zi, zi, zi, zi, zi)
+
+    na = np.asarray(na, dtype=np.int64)[pair_ids]
+    nb = np.asarray(nb, dtype=np.int64)[pair_ids]
+    factors = gathering_factor(nb, warp_size)
+
+    # Stable-sort pairs by bin so groups gather same-factor micro-blocks.
+    order = np.argsort(factors, kind="stable")
+    na, nb, factors, pair_ids = na[order], nb[order], factors[order], pair_ids[order]
+
+    # Group ids: within each factor run, chunks of `factor` pairs.
+    boundaries = np.empty(len(factors), dtype=bool)
+    boundaries[0] = True
+    boundaries[1:] = factors[1:] != factors[:-1]
+    run_start = np.maximum.accumulate(np.where(boundaries, np.arange(len(factors)), 0))
+    idx_in_run = np.arange(len(factors)) - run_start
+    local_group = idx_in_run // factors
+    # Make group ids globally unique: run id * big + local group.
+    run_id = np.cumsum(boundaries) - 1
+    key = run_id * (len(factors) + 1) + local_group
+    _, group_of_pair = np.unique(key, return_inverse=True)
+
+    n_groups = int(group_of_pair.max()) + 1
+    ops = np.bincount(group_of_pair, weights=na * nb, minlength=n_groups).astype(np.int64)
+    na_sum = np.bincount(group_of_pair, weights=na, minlength=n_groups).astype(np.int64)
+    nb_sum = np.bincount(group_of_pair, weights=nb, minlength=n_groups).astype(np.int64)
+    iters = np.zeros(n_groups, dtype=np.float64)
+    np.maximum.at(iters, group_of_pair, na.astype(np.float64))
+    effective = np.minimum(nb_sum, warp_size)
+    partitions = np.bincount(group_of_pair, minlength=n_groups).astype(np.int64)
+
+    return GatherPlan(
+        effective_threads=effective,
+        iters=iters,
+        ops=ops,
+        na_sum=na_sum,
+        nb_sum=nb_sum,
+        partitions=partitions,
+        group_of_pair=group_of_pair,
+        pair_ids=pair_ids,
+    )

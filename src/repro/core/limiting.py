@@ -1,0 +1,54 @@
+"""B-Limiting (Section IV-D): cap merge-block residency on heavy rows.
+
+Output rows whose intermediate-element count exceeds
+``threshold = nnz(C-hat) / (#blocks × β)`` generate memory-storms during the
+dense-accumulator merge.  B-Limiting allocates *extra shared memory* to their
+merge blocks — shared memory the kernel never touches, spent purely to lower
+the number of blocks the occupancy rules allow per SM — which relieves L2
+contention at the price of fewer concurrent contexts.  The limiting factor
+counts 6144-byte steps, exactly as the paper's Figure 14 sweeps it; the
+default of 4 steps (24 576 bytes) is the constant the paper settles on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LIMIT_SMEM_STEP", "limited_row_mask", "limiting_smem_bytes"]
+
+LIMIT_SMEM_STEP = 6144
+"""Shared-memory increment per limiting-factor step (bytes)."""
+
+
+def limited_row_mask(row_work: np.ndarray, *, beta: float = 10.0) -> np.ndarray:
+    """Rows whose merge blocks should be limited.
+
+    Args:
+        row_work: intermediate elements per output row.
+        beta: selectivity; the paper uses 10 "to show fair performance gain".
+
+    Returns:
+        Boolean mask over rows.
+    """
+    if beta <= 0:
+        raise ConfigurationError(f"beta must be positive, got {beta}")
+    row_work = np.asarray(row_work, dtype=np.int64)
+    active = row_work > 0
+    n_blocks = int(np.count_nonzero(active))
+    if n_blocks == 0:
+        return np.zeros_like(active)
+    threshold = row_work.sum() / (n_blocks * beta)
+    return active & (row_work > threshold)
+
+
+def limiting_smem_bytes(base_smem: int, limiting_factor: int, smem_per_sm: int) -> int:
+    """Shared memory to request for a limited merge block.
+
+    ``base + factor * 6144``, clamped so the block still fits on an SM.
+    """
+    if limiting_factor < 0:
+        raise ConfigurationError(f"limiting factor must be >= 0, got {limiting_factor}")
+    requested = base_smem + limiting_factor * LIMIT_SMEM_STEP
+    return min(requested, smem_per_sm)

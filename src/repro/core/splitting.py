@@ -1,0 +1,165 @@
+"""B-Splitting (Section IV-C1): divide overloaded blocks.
+
+Dominator column vectors are copied into a temporary matrix A' whose column
+pointers are expanded so that each original dominator column becomes several
+smaller columns; a *mapper array* records which original pair every split
+column came from, so products land in exactly the same output coordinates.
+This module implements both planes:
+
+* :func:`plan_splitting` — the performance plan: per-dominator splitting
+  factor (a power of two, chosen greedily so dominator work spreads over more
+  blocks than the GPU has SMs) and the per-split-block workloads.
+* :func:`split_csc_columns` — the numeric structure: an actual split CSC
+  matrix plus mapper, used by the Block Reorganizer's numeric plane and by
+  the tests that verify split execution reproduces the original product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sparse.csc import CSCMatrix
+
+__all__ = ["SplitPlan", "choose_split_factors", "plan_splitting", "split_csc_columns"]
+
+
+@dataclass(frozen=True)
+class SplitPlan:
+    """Result of planning B-Splitting over the dominator pairs.
+
+    Attributes:
+        pair_ids: original pair id of each split block.
+        na: a-column entries handled by each split block.
+        nb: b-row entries (effective threads) of each split block — splitting
+            never divides the row vector, per the paper, so this repeats the
+            dominator's nb.
+        factors: chosen splitting factor per dominator (aligned with
+            ``dominator_ids``).
+        dominator_ids: the dominator pair ids, in classification order.
+        split_entries: total a-entries copied into A' (host preprocessing
+            cost driver).
+    """
+
+    pair_ids: np.ndarray
+    na: np.ndarray
+    nb: np.ndarray
+    factors: np.ndarray
+    dominator_ids: np.ndarray
+    split_entries: int
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.pair_ids)
+
+
+def choose_split_factors(
+    na: np.ndarray, n_sms: int, factor_override: int | None = None
+) -> np.ndarray:
+    """Per-dominator splitting factor: the paper's greedy power-of-two rule.
+
+    The factor is the smallest power of two at least ``2 * n_sms`` (so split
+    blocks outnumber SMs), capped so no piece becomes empty (factor ≤ na).
+    ``factor_override`` pins the factor for the Figure 11 sweep.
+    """
+    na = np.asarray(na, dtype=np.int64)
+    if factor_override is not None:
+        if factor_override < 1:
+            raise ConfigurationError(f"splitting factor must be >= 1, got {factor_override}")
+        target = int(factor_override)
+    else:
+        target = 1 << int(np.ceil(np.log2(max(2 * n_sms, 2))))
+    cap = np.maximum(1, np.minimum(target, na))
+    # Round the cap down to a power of two so factors stay 2^n.
+    cap_pow2 = (1 << np.floor(np.log2(cap)).astype(np.int64)).astype(np.int64)
+    return np.minimum(target, cap_pow2)
+
+
+def plan_splitting(
+    na: np.ndarray,
+    nb: np.ndarray,
+    dominator_mask: np.ndarray,
+    n_sms: int,
+    *,
+    factor_override: int | None = None,
+) -> SplitPlan:
+    """Plan split blocks for every dominator pair.
+
+    Each dominator with ``na_k`` column entries and factor ``f_k`` yields
+    ``f_k`` blocks of ``ceil/floor(na_k / f_k)`` entries (the first
+    ``na_k mod f_k`` blocks take the extra element).
+    """
+    dominator_ids = np.flatnonzero(dominator_mask)
+    if len(dominator_ids) == 0:
+        zi = np.zeros(0, dtype=np.int64)
+        return SplitPlan(zi, zi, zi.copy(), zi.copy(), zi.copy(), 0)
+
+    dom_na = np.asarray(na, dtype=np.int64)[dominator_ids]
+    dom_nb = np.asarray(nb, dtype=np.int64)[dominator_ids]
+    factors = choose_split_factors(dom_na, n_sms, factor_override)
+
+    pair_ids = np.repeat(dominator_ids, factors)
+    base = np.repeat(dom_na // factors, factors)
+    remainder = dom_na % factors
+    starts = np.cumsum(factors) - factors
+    offsets = np.arange(int(factors.sum()), dtype=np.int64) - np.repeat(starts, factors)
+    split_na = base + (offsets < np.repeat(remainder, factors))
+    split_nb = np.repeat(dom_nb, factors)
+
+    keep = split_na > 0
+    return SplitPlan(
+        pair_ids=pair_ids[keep],
+        na=split_na[keep],
+        nb=split_nb[keep],
+        factors=factors,
+        dominator_ids=dominator_ids,
+        split_entries=int(dom_na.sum() + dom_nb.sum()),
+    )
+
+
+def split_csc_columns(
+    a_csc: CSCMatrix, plan: SplitPlan
+) -> tuple[CSCMatrix, np.ndarray]:
+    """Materialise A': the dominator columns, physically split.
+
+    Returns a CSC matrix with one column per split block (entries copied from
+    the original dominator columns) and the mapper array giving each new
+    column's original pair id.  Expanding (A' column j) x (B row mapper[j])
+    for all j reproduces exactly the dominators' contribution to C — the
+    property the paper's Figure 5 illustrates and our tests assert.
+    """
+    n_split = plan.n_blocks
+    mapper = plan.pair_ids.copy()
+    if n_split == 0:
+        return CSCMatrix.empty((a_csc.n_rows, 0)), mapper
+
+    # Source ranges: walk each dominator's column, carving consecutive chunks
+    # of plan.na entries.
+    indptr = np.zeros(n_split + 1, dtype=np.int64)
+    np.cumsum(plan.na, out=indptr[1:])
+    total = int(indptr[-1])
+
+    # Per split block, its offset within its dominator column.
+    first_of_pair = np.ones(n_split, dtype=bool)
+    first_of_pair[1:] = plan.pair_ids[1:] != plan.pair_ids[:-1]
+    block_starts_in_pair = np.zeros(n_split, dtype=np.int64)
+    running = np.cumsum(plan.na) - plan.na
+    pair_base = np.where(first_of_pair, running, 0)
+    pair_base = np.maximum.accumulate(pair_base)
+    block_starts_in_pair = running - pair_base
+
+    src_col_start = a_csc.indptr[plan.pair_ids]
+    seg_of = np.repeat(np.arange(n_split, dtype=np.int64), plan.na)
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(running, plan.na)
+    src = np.repeat(src_col_start + block_starts_in_pair, plan.na) + offsets
+
+    split = CSCMatrix(
+        (a_csc.n_rows, n_split),
+        indptr,
+        a_csc.indices[src],
+        a_csc.data[src],
+    )
+    del seg_of
+    return split, mapper

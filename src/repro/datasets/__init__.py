@@ -1,0 +1,32 @@
+"""Dataset catalog and loaders for the paper's evaluation matrices."""
+
+from repro.datasets.catalog import DatasetSpec, get_spec, list_names, list_specs
+from repro.datasets.florida import FLORIDA_NAMES
+from repro.datasets.loader import LoadedDataset, clear_cache, load
+from repro.datasets.stanford import STANFORD_NAMES
+from repro.datasets.synthetic import (
+    AB_NAMES,
+    AB_SCALE_SHIFT,
+    P_NAMES,
+    S_NAMES,
+    SP_NAMES,
+    SYNTH_SCALE,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "get_spec",
+    "list_names",
+    "list_specs",
+    "LoadedDataset",
+    "load",
+    "clear_cache",
+    "FLORIDA_NAMES",
+    "STANFORD_NAMES",
+    "S_NAMES",
+    "P_NAMES",
+    "SP_NAMES",
+    "AB_NAMES",
+    "SYNTH_SCALE",
+    "AB_SCALE_SHIFT",
+]

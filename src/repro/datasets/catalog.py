@@ -1,0 +1,107 @@
+"""Dataset catalog: every matrix the paper evaluates, as a named spec.
+
+Three collections mirror the paper:
+
+* ``florida`` — 14 Florida SuiteSparse matrices (regular, mesh/FEM-like).
+* ``stanford`` — 14 Stanford SNAP matrices (irregular, power-law).
+* ``synthetic`` — Table III: the S (scalability), P (skewness) and SP
+  (sparsity) families for ``C = A^2`` plus the R-MAT pairs for ``C = A B``.
+
+Real-world entries are **stand-ins**: the original downloads are unavailable
+offline, so each spec records the paper's published ``(dimension, nnz(A),
+nnz(C))`` alongside the generator parameters of a deterministic synthetic
+matrix in the same regularity class, scaled down so the intermediate expansion
+fits in laptop memory (see DESIGN.md).  The bench harness prints both sets of
+numbers so the substitution is always visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DatasetError
+
+__all__ = ["DatasetSpec", "register", "get_spec", "list_names", "list_specs"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """A named dataset with provenance and generation parameters.
+
+    Attributes:
+        name: catalog key (paper's dataset name, lowercased).
+        collection: ``"florida"``, ``"stanford"`` or ``"synthetic"``.
+        operation: ``"A@A"`` (the paper's ``C = A^2``) or ``"A@B"``.
+        generator: name of the generator in :mod:`repro.datasets.loader`.
+        params: keyword arguments for the generator.
+        seed: base RNG seed (``A@B`` datasets derive a second seed for B).
+        paper_dim: dimension reported in Table II/III (0 when not reported).
+        paper_nnz_a: nnz(A) reported in the paper.
+        paper_nnz_c: nnz(C) reported in the paper (0 when not reported).
+        skew_class: ``"regular"`` or ``"irregular"`` — the property the paper's
+            analysis keys on; tests assert generated stand-ins land here.
+    """
+
+    name: str
+    collection: str
+    operation: str
+    generator: str
+    params: dict[str, Any] = field(hash=False)
+    seed: int
+    paper_dim: int = 0
+    paper_nnz_a: int = 0
+    paper_nnz_c: int = 0
+    skew_class: str = "regular"
+
+    def __post_init__(self) -> None:
+        if self.collection not in ("florida", "stanford", "synthetic"):
+            raise DatasetError(f"unknown collection {self.collection!r}")
+        if self.operation not in ("A@A", "A@B"):
+            raise DatasetError(f"unknown operation {self.operation!r}")
+        if self.skew_class not in ("regular", "irregular"):
+            raise DatasetError(f"unknown skew class {self.skew_class!r}")
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def register(spec: DatasetSpec) -> DatasetSpec:
+    """Add a spec to the catalog; names must be unique."""
+    if spec.name in _REGISTRY:
+        raise DatasetError(f"dataset {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a spec by name, raising :class:`DatasetError` if unknown."""
+    _ensure_populated()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def list_names(collection: str | None = None) -> list[str]:
+    """All registered dataset names, optionally filtered by collection."""
+    _ensure_populated()
+    return [
+        s.name
+        for s in _REGISTRY.values()
+        if collection is None or s.collection == collection
+    ]
+
+
+def list_specs(collection: str | None = None) -> list[DatasetSpec]:
+    """All registered specs, optionally filtered by collection."""
+    _ensure_populated()
+    return [
+        s for s in _REGISTRY.values() if collection is None or s.collection == collection
+    ]
+
+
+def _ensure_populated() -> None:
+    """Import the collection modules, which register their specs on import."""
+    from repro.datasets import florida, stanford, synthetic  # noqa: F401

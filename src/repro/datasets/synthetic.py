@@ -1,0 +1,111 @@
+"""Synthetic datasets (Table III).
+
+Four families, generated with R-MAT exactly as the paper describes:
+
+* **S (scalability)** — growing dimension and density, skewed parameters
+  ``(0.45, 0.15, 0.15, 0.25)``.
+* **P (skewness)** — fixed size, probabilities sweeping from uniform
+  ``(0.25, 0.25, 0.25, 0.25)`` to Graph500-grade skew ``(0.57, 0.19, 0.19, 0.05)``.
+* **SP (sparsity)** — fixed size and uniform probabilities, density falling
+  from 4M to 1M entries.
+* **AB (C = A B)** — Graph500 pairs at scales 15-18 with edge factor 16; A and
+  B are independent draws.
+
+Every family is scaled down by ``SYNTH_SCALE = 4`` in dimension and entry
+count (AB scales shift down by 2) so the full bench suite runs on a laptop;
+the specs record the paper's original sizes.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.catalog import DatasetSpec, register
+
+__all__ = ["SYNTH_SCALE", "S_NAMES", "P_NAMES", "SP_NAMES", "AB_NAMES", "AB_SCALE_SHIFT"]
+
+SYNTH_SCALE = 4
+"""Linear scale-down factor applied to the Table III S/P/SP families."""
+
+AB_SCALE_SHIFT = 5
+"""R-MAT scale reduction for the C = A B pairs (paper: 15-18; we run 10-13)."""
+
+_SKEWED = (0.45, 0.15, 0.15, 0.25)
+_UNIFORM = (0.25, 0.25, 0.25, 0.25)
+
+
+def _rmat_spec(
+    name: str,
+    paper_dim: int,
+    paper_nnz: int,
+    probs: tuple[float, float, float, float],
+    seed: int,
+) -> DatasetSpec:
+    return register(
+        DatasetSpec(
+            name=name,
+            collection="synthetic",
+            operation="A@A",
+            generator="rmat_general",
+            params={
+                "n": paper_dim // SYNTH_SCALE,
+                "n_edges": paper_nnz // SYNTH_SCALE,
+                "probs": probs,
+            },
+            seed=seed,
+            paper_dim=paper_dim,
+            paper_nnz_a=paper_nnz,
+            skew_class="irregular" if probs != _UNIFORM else "regular",
+        )
+    )
+
+
+# --- S: scalability -------------------------------------------------------
+_S_ENTRIES = [
+    ("s1", 250_000, 62_500),
+    ("s2", 500_000, 250_000),
+    ("s3", 750_000, 562_500),
+    ("s4", 1_000_000, 1_000_000),
+]
+S_NAMES = [e[0] for e in _S_ENTRIES]
+for _i, (_n, _dim, _nnz) in enumerate(_S_ENTRIES):
+    _rmat_spec(_n, _dim, _nnz, _SKEWED, seed=3_000 + _i)
+
+# --- P: skewness ----------------------------------------------------------
+_P_ENTRIES = [
+    ("p1", (0.25, 0.25, 0.25, 0.25)),
+    ("p2", (0.45, 0.15, 0.15, 0.25)),
+    ("p3", (0.55, 0.15, 0.15, 0.15)),
+    ("p4", (0.57, 0.19, 0.19, 0.05)),
+]
+P_NAMES = [e[0] for e in _P_ENTRIES]
+for _i, (_n, _probs) in enumerate(_P_ENTRIES):
+    _rmat_spec(_n, 1_000_000, 1_000_000, _probs, seed=3_100 + _i)
+
+# --- SP: sparsity ---------------------------------------------------------
+_SP_ENTRIES = [
+    ("sp1", 4_000_000),
+    ("sp2", 3_000_000),
+    ("sp3", 2_000_000),
+    ("sp4", 1_000_000),
+]
+SP_NAMES = [e[0] for e in _SP_ENTRIES]
+for _i, (_n, _nnz) in enumerate(_SP_ENTRIES):
+    _rmat_spec(_n, 1_000_000, _nnz, _UNIFORM, seed=3_200 + _i)
+
+# --- AB: C = A B Graph500 pairs --------------------------------------------
+AB_NAMES = []
+for _i, _scale in enumerate((15, 16, 17, 18)):
+    _name = f"ab{_scale}"
+    AB_NAMES.append(_name)
+    register(
+        DatasetSpec(
+            name=_name,
+            collection="synthetic",
+            operation="A@B",
+            generator="rmat_graph500_pair",
+            params={"scale": _scale - AB_SCALE_SHIFT, "edge_factor": 16},
+            seed=3_300 + _i,
+            paper_dim=1 << _scale,
+            paper_nnz_a=16 << _scale,
+            skew_class="irregular",
+        )
+    )

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix structure is malformed (bad indptr, out-of-range index, ...)."""
+
+
+class ShapeMismatchError(ReproError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class DatasetError(ReproError):
+    """A dataset name is unknown or a generator parameter is invalid."""
+
+
+class SimulationError(ReproError):
+    """The GPU simulator was given an inconsistent trace or configuration."""
+
+
+class ConfigurationError(ReproError):
+    """An algorithm or simulator option is out of its valid range."""

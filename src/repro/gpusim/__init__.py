@@ -1,0 +1,74 @@
+"""Cycle-approximate GPU simulator: configs, blocks, traces, scheduling."""
+
+from repro.gpusim.block import BlockArray, BlockArrayBuilder, concatenate
+from repro.gpusim.cache import MemoryModel, build_memory_model
+from repro.gpusim.config import (
+    ALL_GPUS,
+    CPUConfig,
+    GPUConfig,
+    RTX_2080TI,
+    SYSTEM_1,
+    SYSTEM_2,
+    SYSTEM_3,
+    TESLA_V100,
+    TITAN_XP,
+    XEON_E5_2640V4,
+    XEON_E5_2698V4,
+    XEON_GOLD_5115,
+)
+from repro.gpusim.costs import DEFAULT_COSTS, CostModel
+from repro.gpusim.host import (
+    device_precalc_cycles,
+    host_classification_seconds,
+    host_split_seconds,
+)
+from repro.gpusim.latency import exposed_latency
+from repro.gpusim.occupancy import phase_residency, resident_blocks_per_sm
+from repro.gpusim.scheduler import ScheduleResult, list_schedule
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.stats import KernelStats, PhaseStats
+from repro.gpusim.trace import (
+    KernelPhase,
+    KernelTrace,
+    PHASE_EXPANSION,
+    PHASE_MERGE,
+    PHASE_SETUP,
+)
+
+__all__ = [
+    "BlockArray",
+    "BlockArrayBuilder",
+    "concatenate",
+    "MemoryModel",
+    "build_memory_model",
+    "GPUConfig",
+    "CPUConfig",
+    "TITAN_XP",
+    "TESLA_V100",
+    "RTX_2080TI",
+    "XEON_E5_2640V4",
+    "XEON_E5_2698V4",
+    "XEON_GOLD_5115",
+    "SYSTEM_1",
+    "SYSTEM_2",
+    "SYSTEM_3",
+    "ALL_GPUS",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "device_precalc_cycles",
+    "host_classification_seconds",
+    "host_split_seconds",
+    "exposed_latency",
+    "phase_residency",
+    "resident_blocks_per_sm",
+    "ScheduleResult",
+    "list_schedule",
+    "GPUSimulator",
+    "KernelStats",
+    "PhaseStats",
+    "KernelPhase",
+    "KernelTrace",
+    "PHASE_EXPANSION",
+    "PHASE_MERGE",
+    "PHASE_SETUP",
+]

@@ -1,0 +1,225 @@
+"""Thread-block descriptors.
+
+A :class:`BlockArray` is a struct-of-arrays describing every thread block a
+kernel phase launches.  Algorithms build these (cheaply, with NumPy) instead
+of running CUDA; the simulator turns them into per-block durations and per-SM
+timelines.  Keeping blocks columnar instead of as Python objects is what lets
+the simulator handle hundreds of thousands of blocks per phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["BlockArray", "BlockArrayBuilder", "concatenate"]
+
+
+@dataclass
+class BlockArray:
+    """Columnar description of ``n`` thread blocks.
+
+    Attributes:
+        threads: allocated threads per block (warp-aligned by builders).
+        effective_threads: threads that perform useful work (the paper's
+            "effective threads"; lock-step execution wastes the rest).
+        iters: sequential iterations each resident warp executes — the
+            *critical path* of the block.  For thread-balanced (outer-product)
+            blocks this equals per-thread work; for imbalanced (row-product)
+            blocks it is the maximum over threads.
+        ops: useful intermediate products (or merge accumulations) performed.
+        unique_bytes: first-touch global traffic (compulsory DRAM misses).
+        reuse_bytes: repeat-access traffic, servable by L1/L2 when the block's
+            working set fits.
+        write_bytes: global store traffic.
+        smem_bytes: shared-memory footprint (occupancy lever; B-Limiting
+            inflates this deliberately).
+        working_set: bytes of source data the block re-references; compared
+            against cache capacities to split reuse traffic between L1, L2 and
+            DRAM.
+        atomics: atomic updates issued (merge phase).
+        collisions: atomic updates that hit an already-written accumulator
+            slot and serialise.
+        transactions: memory transactions issued (warp-iterations times
+            accesses); partially-filled warps still move whole sectors, so
+            ``max(bytes, transactions * sector)`` is the traffic actually
+            charged against bandwidth.  Builders that leave this zero get a
+            default of one read and one write transaction per warp-iteration.
+    """
+
+    threads: np.ndarray
+    effective_threads: np.ndarray
+    iters: np.ndarray
+    ops: np.ndarray
+    unique_bytes: np.ndarray
+    reuse_bytes: np.ndarray
+    write_bytes: np.ndarray
+    smem_bytes: np.ndarray
+    working_set: np.ndarray
+    atomics: np.ndarray
+    collisions: np.ndarray
+    transactions: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.threads)
+        for name in (
+            "effective_threads",
+            "iters",
+            "ops",
+            "unique_bytes",
+            "reuse_bytes",
+            "write_bytes",
+            "smem_bytes",
+            "working_set",
+            "atomics",
+            "collisions",
+            "transactions",
+        ):
+            arr = getattr(self, name)
+            if len(arr) != n:
+                raise SimulationError(f"BlockArray column {name} has length {len(arr)} != {n}")
+
+    @classmethod
+    def empty(cls) -> "BlockArray":
+        z = np.zeros(0, dtype=np.float64)
+        zi = np.zeros(0, dtype=np.int64)
+        return cls(zi, zi, z, zi, z, z, z, zi, z, zi, zi, z)
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.threads)
+
+    @property
+    def warps(self) -> np.ndarray:
+        """Allocated warps per block (lock-step scheduling granularity)."""
+        return (self.threads + 31) // 32
+
+    @property
+    def total_ops(self) -> int:
+        return int(self.ops.sum())
+
+    def lane_utilization(self) -> np.ndarray:
+        """Useful-lane fraction per block: ops / (warps * 32 * iters).
+
+        1.0 means every lane of every allocated warp does useful work on every
+        iteration; underloaded and imbalanced blocks score low.  The
+        complement of this, weighted by duration, is the sync-stall ratio the
+        paper profiles in Figure 13.
+        """
+        capacity = self.warps.astype(np.float64) * 32.0 * np.maximum(self.iters, 1.0)
+        with np.errstate(invalid="ignore"):
+            util = np.where(capacity > 0, self.ops / capacity, 0.0)
+        return np.clip(util, 0.0, 1.0)
+
+    def select(self, mask: np.ndarray) -> "BlockArray":
+        """Return the sub-array of blocks where ``mask`` is true."""
+        return BlockArray(
+            self.threads[mask],
+            self.effective_threads[mask],
+            self.iters[mask],
+            self.ops[mask],
+            self.unique_bytes[mask],
+            self.reuse_bytes[mask],
+            self.write_bytes[mask],
+            self.smem_bytes[mask],
+            self.working_set[mask],
+            self.atomics[mask],
+            self.collisions[mask],
+            self.transactions[mask],
+        )
+
+
+@dataclass
+class BlockArrayBuilder:
+    """Incremental, vectorised construction of a :class:`BlockArray`.
+
+    Callers append *vectors* of homogeneous blocks (one call per block family),
+    which keeps trace construction O(#families) NumPy calls rather than
+    O(#blocks) Python calls.
+    """
+
+    _parts: list[dict[str, np.ndarray]] = field(default_factory=list)
+
+    def add_blocks(
+        self,
+        *,
+        threads: np.ndarray | int,
+        effective_threads: np.ndarray,
+        iters: np.ndarray,
+        ops: np.ndarray,
+        unique_bytes: np.ndarray,
+        reuse_bytes: np.ndarray | None = None,
+        write_bytes: np.ndarray | None = None,
+        smem_bytes: np.ndarray | int = 1024,
+        working_set: np.ndarray | None = None,
+        atomics: np.ndarray | None = None,
+        collisions: np.ndarray | None = None,
+        transactions: np.ndarray | None = None,
+    ) -> None:
+        """Append a family of blocks; scalar arguments broadcast."""
+        effective_threads = np.asarray(effective_threads, dtype=np.int64)
+        n = len(effective_threads)
+        if n == 0:
+            return
+
+        def _col(value, dtype) -> np.ndarray:
+            if value is None:
+                return np.zeros(n, dtype=dtype)
+            arr = np.asarray(value, dtype=dtype)
+            if arr.ndim == 0:
+                return np.full(n, arr, dtype=dtype)
+            return arr
+
+        self._parts.append(
+            {
+                "threads": _col(threads, np.int64),
+                "effective_threads": effective_threads,
+                "iters": _col(iters, np.float64),
+                "ops": _col(ops, np.int64),
+                "unique_bytes": _col(unique_bytes, np.float64),
+                "reuse_bytes": _col(reuse_bytes, np.float64),
+                "write_bytes": _col(write_bytes, np.float64),
+                "smem_bytes": _col(smem_bytes, np.int64),
+                "working_set": _col(working_set, np.float64),
+                "atomics": _col(atomics, np.int64),
+                "collisions": _col(collisions, np.int64),
+                "transactions": _col(transactions, np.float64),
+            }
+        )
+
+    def build(self) -> BlockArray:
+        """Concatenate all appended families into one :class:`BlockArray`."""
+        if not self._parts:
+            return BlockArray.empty()
+        columns = {
+            name: np.concatenate([p[name] for p in self._parts])
+            for name in self._parts[0]
+        }
+        return BlockArray(**columns)
+
+
+def concatenate(arrays: list[BlockArray]) -> BlockArray:
+    """Concatenate several block arrays (block order is launch order)."""
+    arrays = [a for a in arrays if len(a) > 0]
+    if not arrays:
+        return BlockArray.empty()
+    return BlockArray(
+        np.concatenate([a.threads for a in arrays]),
+        np.concatenate([a.effective_threads for a in arrays]),
+        np.concatenate([a.iters for a in arrays]),
+        np.concatenate([a.ops for a in arrays]),
+        np.concatenate([a.unique_bytes for a in arrays]),
+        np.concatenate([a.reuse_bytes for a in arrays]),
+        np.concatenate([a.write_bytes for a in arrays]),
+        np.concatenate([a.smem_bytes for a in arrays]),
+        np.concatenate([a.working_set for a in arrays]),
+        np.concatenate([a.atomics for a in arrays]),
+        np.concatenate([a.collisions for a in arrays]),
+        np.concatenate([a.transactions for a in arrays]),
+    )

@@ -1,0 +1,150 @@
+"""Hardware configurations (Table I of the paper).
+
+Three GPU generations — Pascal (Titan Xp), Volta (Tesla V100) and Turing
+(RTX 2080 Ti) — plus the host CPUs used for the MKL comparator and for
+Block Reorganizer's host-side preprocessing.  Published figures (SM counts,
+clocks, bandwidths, cache sizes) come from the vendor datasheets the paper
+cites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GPUConfig",
+    "CPUConfig",
+    "TITAN_XP",
+    "TESLA_V100",
+    "RTX_2080TI",
+    "XEON_E5_2640V4",
+    "XEON_E5_2698V4",
+    "XEON_GOLD_5115",
+    "SYSTEM_1",
+    "SYSTEM_2",
+    "SYSTEM_3",
+    "ALL_GPUS",
+]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Architectural parameters of a simulated GPU.
+
+    The simulator only depends on quantities that gate thread-block
+    scheduling and memory behaviour; shader-core details (FP32 lane counts
+    etc.) are folded into the cost model's issue rates.
+    """
+
+    name: str
+    n_sms: int
+    clock_mhz: float
+    compute_capability: str
+    warp_size: int = 32
+    max_threads_per_sm: int = 2048
+    max_tbs_per_sm: int = 32
+    warp_schedulers_per_sm: int = 4
+    smem_per_sm: int = 96 * 1024
+    """Shared memory per SM in bytes — the resource B-Limiting spends."""
+    l1_size: int = 48 * 1024
+    l2_size: int = 3 * 1024 * 1024
+    dram_bandwidth_gbs: float = 547.0
+    l2_bandwidth_gbs: float = 1200.0
+    sm_dram_fraction: float = 0.15
+    """Max share of chip DRAM bandwidth one SM can pull (LSU/L1 path limit).
+    This is why spreading a memory-heavy workload over more SMs — exactly what
+    B-Splitting does — raises achieved bandwidth."""
+    sm_l2_fraction: float = 0.30
+    """Max share of chip L2 bandwidth one SM can pull."""
+    sm_saturation_warps: int = 16
+    """Effective warps needed to saturate one SM's memory path; a block's
+    bandwidth share scales with its warps against this (or against the total
+    resident warps when the SM is oversubscribed)."""
+    sector_bytes: int = 32
+    """Minimum DRAM transaction size; partially-filled warps still move whole
+    sectors, so underloaded blocks waste bandwidth."""
+    dram_efficiency: float = 0.70
+    """Achievable fraction of peak DRAM bandwidth for sparse-kernel access
+    patterns (scattered sector-granularity traffic never reaches peak)."""
+    l2_efficiency: float = 0.70
+    """Achievable fraction of peak L2 bandwidth."""
+
+    def __post_init__(self) -> None:
+        if self.n_sms <= 0 or self.clock_mhz <= 0:
+            raise ConfigurationError(f"invalid GPU config {self.name!r}")
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    def bytes_per_cycle_dram(self) -> float:
+        """Achievable chip-wide DRAM bytes per GPU clock cycle."""
+        return self.dram_bandwidth_gbs * 1e9 * self.dram_efficiency / self.clock_hz
+
+    def bytes_per_cycle_l2(self) -> float:
+        """Achievable chip-wide L2 bytes per GPU clock cycle."""
+        return self.l2_bandwidth_gbs * 1e9 * self.l2_efficiency / self.clock_hz
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """Host CPU parameters (MKL comparator + host-side preprocessing)."""
+
+    name: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    dram_bandwidth_gbs: float
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_ghz * 1e9
+
+
+TITAN_XP = GPUConfig(
+    name="TITAN Xp",
+    n_sms=30,
+    clock_mhz=1582.0,
+    compute_capability="6.1",
+    smem_per_sm=96 * 1024,
+    l1_size=48 * 1024,
+    l2_size=3 * 1024 * 1024,
+    dram_bandwidth_gbs=547.0,
+    l2_bandwidth_gbs=1100.0,
+)
+
+TESLA_V100 = GPUConfig(
+    name="Tesla V100",
+    n_sms=80,
+    clock_mhz=1380.0,
+    compute_capability="7.0",
+    smem_per_sm=96 * 1024,
+    l1_size=128 * 1024,
+    l2_size=6 * 1024 * 1024,
+    dram_bandwidth_gbs=900.0,
+    l2_bandwidth_gbs=2100.0,
+)
+
+RTX_2080TI = GPUConfig(
+    name="RTX 2080 Ti",
+    n_sms=68,
+    clock_mhz=1545.0,
+    compute_capability="7.5",
+    smem_per_sm=64 * 1024,
+    l1_size=64 * 1024,
+    l2_size=int(5.5 * 1024 * 1024),
+    dram_bandwidth_gbs=616.0,
+    l2_bandwidth_gbs=1800.0,
+)
+
+XEON_E5_2640V4 = CPUConfig("Xeon E5-2640 v4", cores=10, threads=20, clock_ghz=3.4, dram_bandwidth_gbs=68.0)
+XEON_E5_2698V4 = CPUConfig("Xeon E5-2698 v4", cores=20, threads=40, clock_ghz=3.6, dram_bandwidth_gbs=77.0)
+XEON_GOLD_5115 = CPUConfig("Xeon Gold 5115", cores=10, threads=20, clock_ghz=3.4, dram_bandwidth_gbs=115.0)
+
+SYSTEM_1 = (XEON_E5_2640V4, TITAN_XP)
+SYSTEM_2 = (XEON_E5_2698V4, TESLA_V100)
+SYSTEM_3 = (XEON_GOLD_5115, RTX_2080TI)
+
+ALL_GPUS = (TITAN_XP, TESLA_V100, RTX_2080TI)

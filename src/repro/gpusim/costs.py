@@ -1,0 +1,118 @@
+"""Calibration constants of the cycle-approximate cost model.
+
+Every tunable of the simulator lives in this one dataclass so that (a) the
+provenance of each constant is documented in a single place, (b) the ablation
+benches can sweep them to show conclusions are not knife-edge, and (c) tests
+can construct degenerate models (e.g. zero memory latency) to isolate
+mechanisms.
+
+Values are loosely derived from public microbenchmark literature for Pascal/
+Volta GPUs (global-memory latency ~400-600 cycles, a few instructions of
+index arithmetic per FMA in sparse kernels, ~1e3-cycle block dispatch cost);
+they are calibrated — see EXPERIMENTS.md — so the row-product baseline lands
+in the paper's 1-16 GFLOPS band on the stand-in datasets.  The reproduction's
+claims rest on *relative* behaviour, which is robust to these constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CostModel", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs used to turn a thread-block descriptor into a duration."""
+
+    instr_per_product: float = 6.0
+    """Issued warp-instructions per intermediate product in expansion kernels
+    (multiply, index load, address arithmetic, store)."""
+
+    instr_per_merge_elem: float = 6.0
+    """Instructions per intermediate element in the matrix-form (outer-product)
+    dense-accumulator merge — includes the extra column address indexing the
+    paper blames for slow full-matrix accumulation."""
+
+    instr_per_merge_elem_row: float = 4.0
+    """Instructions per element in row-form (row-product) merge, which skips
+    the extra column indexing."""
+
+    issue_rate: float = 1.0
+    """Warp-instructions issued per cycle per warp scheduler."""
+
+    mem_latency: float = 650.0
+    """DRAM round-trip latency in cycles."""
+
+    l2_latency: float = 130.0
+    """L2 hit latency in cycles."""
+
+    mem_ops_per_product: float = 1.0
+    """Long-latency memory operations per product per warp (coalesced)."""
+
+    tb_launch_cycles: float = 450.0
+    """Fixed cost to dispatch a thread block onto an SM (driver + CTA setup).
+    This is the overhead B-Gathering amortises across micro-blocks."""
+
+    warp_setup_cycles: float = 110.0
+    """Per-allocated-warp context setup within a block launch.  Fixed-size
+    blocks pay for all eight warps even when one is effective — part of the
+    fixed-block-size waste B-Gathering's compaction removes."""
+
+    atomic_conflict_cycles: float = 12.0
+    """Serialisation penalty per colliding atomic update in the merge."""
+
+    bytes_per_entry: float = 12.0
+    """Bytes moved per sparse entry (4-byte index + 8-byte value)."""
+
+    merge_matrix_sectors_per_elem: float = 0.34
+    """DRAM sectors per intermediate element for the matrix-form (outer
+    product) dense-accumulator merge: scattered atomics resolve in L2, but
+    line fills and write-backs leak to DRAM."""
+
+    merge_row_sectors_per_elem: float = 0.30
+    """DRAM sectors per element for the row-form merge (sequential buffers,
+    the cheaper accumulation the row-product scheme enjoys)."""
+
+    row_exp_instr_scale: float = 2.0
+    """Iteration-cost multiplier for row-product expansion relative to the
+    outer product (scalar Gustavson pays extra index arithmetic per product
+    that the outer product's broadcast layout avoids)."""
+
+    row_exp_bytes_per_op: float = 22.0
+    """Effective DRAM bytes per product for row-product expansion: 32 threads
+    streaming 32 different b-rows interleave poorly, roughly doubling the
+    12-byte payload."""
+
+    kernel_launch_cycles: float = 8000.0
+    """Host-side cost per kernel launch, charged once per phase."""
+
+    host_cycles_per_classified_pair: float = 1.5
+    """Host preprocessing: workload classification cost per column/row pair."""
+
+    host_cycles_per_split_entry: float = 3.0
+    """Host preprocessing: B-Splitting pointer/mapper construction per copied
+    dominator entry (runs on the host CPU, per the paper's Section V)."""
+
+    gpu_precalc_ops_per_entry: float = 2.0
+    """Device-side precalculation (block-wise/row-wise nnz) ops per entry."""
+
+    def __post_init__(self) -> None:
+        for name in (
+            "instr_per_product",
+            "issue_rate",
+            "mem_latency",
+            "tb_launch_cycles",
+            "bytes_per_entry",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"cost {name} must be non-negative")
+
+    def with_overrides(self, **kwargs: float) -> "CostModel":
+        """Return a copy with some constants replaced (ablation benches)."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_COSTS = CostModel()

@@ -1,0 +1,68 @@
+"""Export simulated profiles to plain dictionaries / JSON.
+
+Downstream users plotting their own figures need the simulator's counters in
+a tool-neutral form; this module flattens :class:`KernelStats` (and whole
+bench result sets) losslessly to JSON-serialisable structures.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.gpusim.stats import KernelStats
+
+__all__ = ["stats_to_dict", "stats_to_json", "write_stats_json"]
+
+
+def stats_to_dict(stats: KernelStats) -> dict:
+    """Flatten kernel stats (per-phase counters included) to a dict."""
+    return {
+        "algorithm": stats.algorithm,
+        "gpu": stats.config.name,
+        "total_seconds": stats.total_seconds,
+        "kernel_seconds": stats.kernel_seconds,
+        "host_seconds": stats.host_seconds,
+        "gflops": stats.gflops,
+        "total_ops": stats.total_ops,
+        "lbi": stats.lbi(),
+        "sync_stall_pct": stats.sync_stall_pct,
+        "meta": {k: v for k, v in stats.meta.items() if _jsonable(v)},
+        "phases": [
+            {
+                "name": p.name,
+                "stage": p.stage,
+                "n_blocks": p.n_blocks,
+                "makespan_cycles": p.makespan_cycles,
+                "seconds": p.seconds(stats.config),
+                "lbi": p.lbi,
+                "sync_stall_pct": p.sync_stall_pct,
+                "dram_bytes": p.dram_bytes,
+                "l2_read_gbs": p.l2_read_gbs(stats.config),
+                "l2_write_gbs": p.l2_write_gbs(stats.config),
+                "residency": p.residency,
+                "l2_hit": p.l2_hit,
+                "l1_hit": p.l1_hit,
+                "sm_busy_cycles": p.sm_busy_cycles.tolist(),
+            }
+            for p in stats.phases
+        ],
+    }
+
+
+def stats_to_json(stats: KernelStats, *, indent: int = 2) -> str:
+    """Serialise kernel stats to a JSON string."""
+    return json.dumps(stats_to_dict(stats), indent=indent)
+
+
+def write_stats_json(stats: KernelStats, path: str | Path) -> None:
+    """Write kernel stats to a JSON file."""
+    Path(path).write_text(stats_to_json(stats), encoding="utf-8")
+
+
+def _jsonable(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False

@@ -1,0 +1,37 @@
+"""Warp-level latency hiding.
+
+GPUs tolerate memory latency by switching among *eligible* warps: while one
+warp waits on a load, the scheduler issues others.  The exposed (unhidden)
+part of each access is therefore the raw latency minus the issue work the
+other resident warps can supply in the meantime.  Underloaded blocks are slow
+precisely because this pool is shallow — the mechanism behind the paper's
+B-Gathering (Section IV-C2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["exposed_latency"]
+
+
+def exposed_latency(
+    latency_cycles: float,
+    issue_gap_cycles: float,
+    coresident_warps: float,
+) -> float:
+    """Unhidden cycles per long-latency access.
+
+    Args:
+        latency_cycles: raw access latency (blended L2/DRAM).
+        issue_gap_cycles: issue work one warp provides between two of its own
+            long-latency accesses.
+        coresident_warps: warps resident on the SM (the switching pool).
+
+    Returns:
+        ``max(0, (latency + gap) / W - gap)`` — the classical interleaving
+        model: W warps round-robin through the memory pipeline, so each sees
+        1/W of the serial latency+issue cycle, and the exposed part is what
+        its own issue work cannot cover.  W = 1 degenerates to the full
+        latency; deep pools approach zero exposure.
+    """
+    pool = max(1.0, coresident_warps)
+    return max(0.0, (latency_cycles + issue_gap_cycles) / pool - issue_gap_cycles)

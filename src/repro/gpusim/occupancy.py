@@ -1,0 +1,48 @@
+"""Occupancy: how many thread blocks an SM can host at once.
+
+On real hardware the per-SM resident-block count is gated by threads, shared
+memory, registers and a hard block cap (Figure 1b of the paper).  The
+simulator uses a mean-field approximation per phase: residency is computed
+from the *average* footprint of the phase's blocks.  This is exact for
+homogeneous phases (almost all of them) and a documented approximation for
+mixed ones; the Block Reorganizer's own phases are homogeneous by
+construction because it bins blocks before launching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArray
+from repro.gpusim.config import GPUConfig
+
+__all__ = ["resident_blocks_per_sm", "phase_residency"]
+
+
+def resident_blocks_per_sm(
+    config: GPUConfig, threads_per_block: float, smem_per_block: float
+) -> int:
+    """Max co-resident blocks on one SM for a given footprint.
+
+    Mirrors the CUDA occupancy rules the paper manipulates: the minimum of the
+    hard block cap, the thread-slot limit and the shared-memory limit, with a
+    floor of one (a block larger than the SM still runs, serially).
+    """
+    if threads_per_block <= 0:
+        raise SimulationError("threads_per_block must be positive")
+    by_cap = config.max_tbs_per_sm
+    by_threads = int(config.max_threads_per_sm // max(threads_per_block, 1.0))
+    by_smem = (
+        int(config.smem_per_sm // smem_per_block) if smem_per_block > 0 else config.max_tbs_per_sm
+    )
+    return max(1, min(by_cap, by_threads, by_smem))
+
+
+def phase_residency(config: GPUConfig, blocks: BlockArray) -> int:
+    """Mean-field residency for a whole phase (see module docstring)."""
+    if len(blocks) == 0:
+        return 1
+    avg_threads = float(np.mean(blocks.threads))
+    avg_smem = float(np.mean(blocks.smem_bytes))
+    return resident_blocks_per_sm(config, avg_threads, avg_smem)

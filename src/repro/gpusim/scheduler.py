@@ -1,0 +1,83 @@
+"""Greedy thread-block list scheduler.
+
+Models the hardware GigaThread engine: blocks are dispatched in launch order,
+each to the execution slot (SM residency slot) that frees earliest.  With
+``P = n_sms * residency`` symmetric slots this is classic list scheduling,
+implemented with a single binary heap so hundreds of thousands of blocks
+schedule in well under a second.
+
+The per-SM busy times it returns are the direct analogue of the per-SM
+execution times the paper plots in Figure 3(a) and summarises as the Load
+Balancing Index (Equation 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ScheduleResult", "list_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of scheduling one phase.
+
+    Attributes:
+        makespan: cycles until the last block completes.
+        sm_busy: per-SM busy cycles (sum of durations of blocks it ran).
+        sm_finish: per-SM completion time of its last block.
+    """
+
+    makespan: float
+    sm_busy: np.ndarray
+    sm_finish: np.ndarray
+
+
+def list_schedule(durations: np.ndarray, n_sms: int, residency: int) -> ScheduleResult:
+    """Schedule blocks (in order) onto ``n_sms * residency`` slots.
+
+    Args:
+        durations: per-block durations in cycles, in launch order.
+        n_sms: number of streaming multiprocessors.
+        residency: co-resident blocks per SM (occupancy).
+
+    Returns:
+        :class:`ScheduleResult` with the makespan and per-SM times.
+    """
+    if n_sms <= 0 or residency <= 0:
+        raise SimulationError("n_sms and residency must be positive")
+    durations = np.asarray(durations, dtype=np.float64)
+    if np.any(durations < 0):
+        raise SimulationError("negative block duration")
+    sm_busy = np.zeros(n_sms, dtype=np.float64)
+    sm_finish = np.zeros(n_sms, dtype=np.float64)
+    n = len(durations)
+    if n == 0:
+        return ScheduleResult(0.0, sm_busy, sm_finish)
+
+    n_slots = n_sms * residency
+    if n <= n_slots:
+        # Every block gets its own slot; round-robin across SMs.
+        sm_ids = np.arange(n) % n_sms
+        np.add.at(sm_busy, sm_ids, durations)
+        np.maximum.at(sm_finish, sm_ids, durations)
+        return ScheduleResult(float(durations.max()), sm_busy, sm_finish)
+
+    # Heap of (free_time, slot_id); slot s lives on SM s % n_sms.
+    heap: list[tuple[float, int]] = [(0.0, s) for s in range(n_slots)]
+    heapq.heapify(heap)
+    durations_list = durations.tolist()  # ~3x faster iteration than ndarray
+    for d in durations_list:
+        free_at, slot = heapq.heappop(heap)
+        finish = free_at + d
+        sm = slot % n_sms
+        sm_busy[sm] += d
+        if finish > sm_finish[sm]:
+            sm_finish[sm] = finish
+        heapq.heappush(heap, (finish, slot))
+    return ScheduleResult(float(sm_finish.max()), sm_busy, sm_finish)

@@ -1,0 +1,237 @@
+"""The GPU simulator: turns kernel traces into timing and profiling counters.
+
+For each phase the simulator derives a per-block execution context
+(residency from the block's own footprint, effective-warp pool, cache hit
+fractions), computes a per-block duration from a three-way roofline —
+issue-bound, latency-bound, bandwidth-bound — and list-schedules the blocks
+onto SM residency slots.  See DESIGN.md for why this level of abstraction
+reproduces the paper's effects.
+
+Duration model for block *i* (``R_i`` co-resident blocks from its footprint,
+``we_i`` *effective* warps, instruction cost ``instr`` per warp-iteration):
+
+* ``compute_i = iters_i · instr · oversub_i / issue_rate`` with
+  ``oversub_i = max(1, R_i · we_i / schedulers)`` — lock-step warps pay full
+  issue cost regardless of how many lanes are effective, so underloaded
+  blocks waste issue bandwidth (B-Gathering's first target).
+* ``latency_i = iters_i · mem_ops · exposed(L_eff_i, gap, R_i · we_i)`` —
+  shallow *effective*-warp pools leave memory latency unhidden
+  (B-Gathering's second target; allocated-but-empty warps issue nothing and
+  cannot hide anything).
+* ``bandwidth_i = dram_i / (SM_dram_bw / R_i) + l2_i / (SM_l2_bw / R_i)`` —
+  a single SM can only pull ``sm_dram_fraction`` of chip bandwidth, which is
+  why concentrating traffic in one overloaded block starves it
+  (B-Splitting's target); the chip-wide cap is enforced as a phase-level
+  floor.  DRAM traffic is sector-floored by transaction count, so
+  underloaded warps waste bandwidth too.
+* ``duration_i = tb_launch + max(compute_i, latency_i, bandwidth_i) +
+  atomic_serialisation_i`` (colliding atomic merges serialise —
+  B-Limiting's phase).
+
+All durations are computed before scheduling (steady-state approximation: no
+retroactive slowdown from later arrivals), keeping the simulation
+deterministic and O(n log n) in the block count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArray
+from repro.gpusim.cache import build_memory_model
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.costs import DEFAULT_COSTS, CostModel
+from repro.gpusim.scheduler import list_schedule
+from repro.gpusim.stats import KernelStats, PhaseStats
+from repro.gpusim.trace import KernelTrace
+
+__all__ = ["GPUSimulator"]
+
+_INSTR_BY_STAGE = {
+    "expansion": "instr_per_product",
+    "merge": "instr_per_merge_elem",
+    "setup": "instr_per_product",
+}
+
+
+class GPUSimulator:
+    """Cycle-approximate simulator for one GPU configuration.
+
+    Example:
+        >>> sim = GPUSimulator(TITAN_XP)
+        >>> stats = sim.run(trace)
+        >>> stats.total_seconds, stats.gflops, stats.lbi("expansion")
+    """
+
+    def __init__(self, config: GPUConfig, costs: CostModel = DEFAULT_COSTS) -> None:
+        self.config = config
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, trace: KernelTrace) -> KernelStats:
+        """Execute a trace: phases run back-to-back on an idle GPU."""
+        stats = KernelStats(
+            algorithm=trace.algorithm,
+            config=self.config,
+            host_seconds=trace.host_seconds,
+            device_setup_cycles=trace.device_setup_cycles,
+            meta=dict(trace.meta),
+        )
+        for phase in trace.phases:
+            stats.phases.append(
+                self._run_phase(phase.name, phase.stage, phase.blocks, phase.instr_override)
+            )
+        return stats
+
+    def block_durations(
+        self, stage: str, blocks: BlockArray, instr_override: float | None = None
+    ) -> np.ndarray:
+        """Per-block durations for one phase (exposed for tests/benches)."""
+        durations, _, _ = self._durations(stage, blocks, instr_override)
+        return durations
+
+    def residency(self, blocks: BlockArray) -> np.ndarray:
+        """Per-block SM residency implied by each block's resource footprint."""
+        cfg = self.config
+        threads = np.maximum(blocks.threads, 1)
+        by_threads = cfg.max_threads_per_sm // threads
+        smem = np.maximum(blocks.smem_bytes, 1)
+        by_smem = cfg.smem_per_sm // smem
+        res = np.minimum(cfg.max_tbs_per_sm, np.minimum(by_threads, by_smem))
+        return np.maximum(res, 1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _durations(self, stage: str, blocks: BlockArray, instr_override: float | None = None):
+        cfg, costs = self.config, self.costs
+        n = len(blocks)
+        if n == 0:
+            return np.zeros(0, dtype=np.float64), None, None
+
+        instr_name = _INSTR_BY_STAGE.get(stage)
+        if instr_name is None:
+            raise SimulationError(f"unknown stage {stage!r}")
+        instr = getattr(costs, instr_name) if instr_override is None else instr_override
+
+        # Footprint residency, clamped by block scarcity: a phase with fewer
+        # blocks than SM slots leaves SMs under-occupied.
+        residency = np.minimum(
+            self.residency(blocks), max(1, -(-n // cfg.n_sms))
+        ).astype(np.float64)
+        memory = build_memory_model(cfg, costs, blocks, residency)
+
+        eff_warps = np.maximum((blocks.effective_threads + 31) // 32, 1).astype(np.float64)
+        alloc_warps = blocks.warps.astype(np.float64)
+        warp_pool = residency * eff_warps
+        # Issue pressure counts *allocated* warps: guard-style kernels march
+        # empty warps through the loop in lock-step (predicated off), so they
+        # occupy scheduler slots without doing work — the fixed-block-size
+        # waste B-Gathering's compaction removes.
+        oversub = np.maximum(1.0, residency * alloc_warps / cfg.warp_schedulers_per_sm)
+
+        iters = np.maximum(blocks.iters, 0.0)
+        compute = iters * instr * oversub / costs.issue_rate
+
+        # Classical interleaving model: W warps share the memory pipeline, so
+        # each sees (latency + gap) / W per access, minus its own issue work.
+        # A warp pays one dependent latency round per *iteration* — the
+        # sectors an iteration touches are issued concurrently (intra-warp
+        # memory-level parallelism), so they overlap within the round.
+        gap = instr / costs.issue_rate
+        exposed = np.maximum(
+            0.0,
+            (memory.effective_latency + gap) / np.maximum(warp_pool, 1.0) - gap,
+        )
+        latency = iters * costs.mem_ops_per_product * exposed
+
+        # A block's share of its SM's memory bandwidth scales with its
+        # memory-level parallelism — the concurrent transaction streams it
+        # keeps in flight per iteration — against the SM's saturation point,
+        # or against the total resident streams when the SM is oversubscribed.
+        # A dominator block (or a fully-packed gathered block, whose 32 lanes
+        # stream many partitions at once) therefore out-pulls idle-ish
+        # micro-block neighbours instead of being starved to 1/R of the SM,
+        # while B-Limiting's residency cuts genuinely relieve oversubscribed
+        # merge phases.
+        streams = np.clip(blocks.transactions / np.maximum(iters, 1.0), 1.0, 64.0)
+        mean_streams = float(np.mean(streams))
+        resident_streams = streams + (residency - 1.0) * mean_streams
+        share = streams / np.maximum(cfg.sm_saturation_warps, resident_streams)
+        share = np.minimum(share, 1.0)
+        sm_dram_bpc = cfg.bytes_per_cycle_dram() * cfg.sm_dram_fraction
+        sm_l2_bpc = cfg.bytes_per_cycle_l2() * cfg.sm_l2_fraction
+        bandwidth = memory.dram_bytes / (sm_dram_bpc * share) + (
+            memory.l2_read_bytes + memory.l2_write_bytes
+        ) / (sm_l2_bpc * share)
+
+        atomic = blocks.collisions * costs.atomic_conflict_cycles / 32.0
+
+        launch = costs.tb_launch_cycles + alloc_warps * costs.warp_setup_cycles
+        durations = launch + np.maximum(np.maximum(compute, latency), bandwidth) + atomic
+        return durations, residency, memory
+
+    def _run_phase(
+        self,
+        name: str,
+        stage: str,
+        blocks: BlockArray,
+        instr_override: float | None = None,
+    ) -> PhaseStats:
+        cfg, costs = self.config, self.costs
+        n = len(blocks)
+        if n == 0:
+            return PhaseStats(
+                name=name,
+                stage=stage,
+                n_blocks=0,
+                makespan_cycles=costs.kernel_launch_cycles,
+                sm_busy_cycles=np.zeros(cfg.n_sms),
+                sm_finish_cycles=np.zeros(cfg.n_sms),
+                total_ops=0,
+                dram_bytes=0.0,
+                l2_read_bytes=0.0,
+                l2_write_bytes=0.0,
+                sync_stall_cycles=0.0,
+                busy_cycles=0.0,
+                residency=1,
+                l2_hit=0.0,
+                l1_hit=0.0,
+            )
+
+        durations, residency, memory = self._durations(stage, blocks, instr_override)
+
+        # Slot count for scheduling: the count-weighted typical residency.
+        slot_residency = int(max(1, round(float(np.mean(residency)))))
+        schedule = list_schedule(durations, cfg.n_sms, slot_residency)
+
+        # Chip-level bandwidth floor: no schedule can finish faster than the
+        # memory system can move the phase's total traffic.
+        total_dram = float(memory.dram_bytes.sum())
+        total_l2 = float(memory.l2_read_bytes.sum() + memory.l2_write_bytes.sum())
+        floor = max(total_dram / cfg.bytes_per_cycle_dram(), total_l2 / cfg.bytes_per_cycle_l2())
+        makespan = max(schedule.makespan, floor)
+
+        busy_cycles = float(durations.sum())
+        stall = float(np.sum(durations * (1.0 - blocks.lane_utilization())))
+
+        return PhaseStats(
+            name=name,
+            stage=stage,
+            n_blocks=n,
+            makespan_cycles=makespan + costs.kernel_launch_cycles,
+            sm_busy_cycles=schedule.sm_busy,
+            sm_finish_cycles=schedule.sm_finish,
+            total_ops=blocks.total_ops,
+            dram_bytes=total_dram,
+            l2_read_bytes=float(memory.l2_read_bytes.sum()),
+            l2_write_bytes=float(memory.l2_write_bytes.sum()),
+            sync_stall_cycles=stall,
+            busy_cycles=busy_cycles,
+            residency=slot_residency,
+            l2_hit=memory.mean_l2_hit(),
+            l1_hit=memory.mean_l1_hit(),
+        )

@@ -1,0 +1,77 @@
+"""Kernel traces: the interface between spGEMM algorithms and the simulator.
+
+An algorithm's performance plane emits a :class:`KernelTrace` — an ordered
+list of :class:`KernelPhase` (kernel launches), each carrying the thread
+blocks it dispatches, plus any host-side preprocessing time.  The simulator
+executes phases sequentially, as the GPU would execute dependent kernel
+launches from one stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArray
+
+__all__ = ["KernelPhase", "KernelTrace", "PHASE_EXPANSION", "PHASE_MERGE", "PHASE_SETUP"]
+
+PHASE_EXPANSION = "expansion"
+PHASE_MERGE = "merge"
+PHASE_SETUP = "setup"
+
+
+@dataclass
+class KernelPhase:
+    """One kernel launch: a name, a stage tag, and its thread blocks.
+
+    Attributes:
+        name: human-readable label (e.g. ``"expansion-dominator"``).
+        stage: coarse bucket — :data:`PHASE_EXPANSION`, :data:`PHASE_MERGE` or
+            :data:`PHASE_SETUP` — used when reporting the paper's
+            expansion/merge time split (Figure 3c).
+        blocks: the thread blocks this launch dispatches, in launch order.
+        instr_override: per-warp-iteration instruction cost for this phase,
+            overriding the stage default from the cost model (e.g. row-form
+            merges skip the column indexing that matrix-form merges pay).
+    """
+
+    name: str
+    stage: str
+    blocks: BlockArray
+    instr_override: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.stage not in (PHASE_EXPANSION, PHASE_MERGE, PHASE_SETUP):
+            raise SimulationError(f"unknown phase stage {self.stage!r}")
+
+
+@dataclass
+class KernelTrace:
+    """A full spGEMM execution: ordered phases + host preprocessing.
+
+    Attributes:
+        algorithm: name of the producing algorithm.
+        phases: kernel launches in dependency order.
+        host_seconds: host-side preprocessing time (classification and
+            B-Splitting run on the CPU; the paper includes this overhead in
+            all reported results except device transfer time).
+        device_setup_cycles: device-side preprocessing cost in GPU cycles
+            (precalculation of block-wise/row-wise nnz).
+        meta: free-form diagnostics from the algorithm (e.g. dominator count)
+            surfaced in bench output.
+    """
+
+    algorithm: str
+    phases: list[KernelPhase] = field(default_factory=list)
+    host_seconds: float = 0.0
+    device_setup_cycles: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def n_blocks(self) -> int:
+        return sum(len(p.blocks) for p in self.phases)
+
+    def total_ops(self) -> int:
+        """Useful products across all expansion phases (for GFLOPS)."""
+        return sum(p.blocks.total_ops for p in self.phases if p.stage == PHASE_EXPANSION)

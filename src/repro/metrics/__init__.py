@@ -1,0 +1,14 @@
+"""Metrics: LBI (Eq. 3), GFLOPS, and nvprof-style profiling reports."""
+
+from repro.metrics.gflops import FLOPS_PER_PRODUCT, gflops
+from repro.metrics.lbi import load_balancing_index
+from repro.metrics.profiling import ProfileReport, StageProfile, profile_report
+
+__all__ = [
+    "FLOPS_PER_PRODUCT",
+    "gflops",
+    "load_balancing_index",
+    "ProfileReport",
+    "StageProfile",
+    "profile_report",
+]

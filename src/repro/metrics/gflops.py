@@ -1,0 +1,20 @@
+"""Throughput accounting.
+
+The paper reports absolute performance in GFLOPS counting two floating-point
+operations (multiply + add) per intermediate product, over the total kernel
+time including preprocessing overheads (Figure 9).
+"""
+
+from __future__ import annotations
+
+__all__ = ["FLOPS_PER_PRODUCT", "gflops"]
+
+FLOPS_PER_PRODUCT = 2.0
+"""One multiply and one accumulate per intermediate product."""
+
+
+def gflops(total_products: int, seconds: float) -> float:
+    """GFLOPS for ``total_products`` intermediate products in ``seconds``."""
+    if seconds <= 0.0:
+        return 0.0
+    return FLOPS_PER_PRODUCT * total_products / seconds / 1e9

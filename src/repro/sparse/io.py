@@ -1,0 +1,82 @@
+"""Minimal MatrixMarket coordinate I/O.
+
+Supports the ``%%MatrixMarket matrix coordinate real general`` profile plus
+``pattern`` (value-less) files, which covers the SuiteSparse/SNAP exports the
+paper's datasets ship in.  Used by examples so a downstream user can run the
+library on their own matrices.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate {field} general\n"
+
+
+def read_matrix_market(path: str | Path) -> COOMatrix:
+    """Read a MatrixMarket coordinate file into a COO matrix.
+
+    ``pattern`` files get value 1.0 for every entry; ``symmetric`` files are
+    expanded to full general storage.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise SparseFormatError(f"{path}: missing MatrixMarket header")
+        tokens = header.strip().lower().split()
+        if len(tokens) < 5 or tokens[2] != "coordinate":
+            raise SparseFormatError(f"{path}: only coordinate format is supported")
+        field, symmetry = tokens[3], tokens[4]
+        if field not in ("real", "integer", "pattern"):
+            raise SparseFormatError(f"{path}: unsupported field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise SparseFormatError(f"{path}: unsupported symmetry {symmetry!r}")
+
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        try:
+            n_rows, n_cols, nnz = (int(t) for t in line.split())
+        except ValueError as exc:
+            raise SparseFormatError(f"{path}: bad size line {line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float64)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            if len(parts) < 2:
+                raise SparseFormatError(f"{path}: truncated at entry {k}")
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = float(parts[2]) if field != "pattern" and len(parts) > 2 else 1.0
+
+    if symmetry == "symmetric":
+        off_diag = rows != cols
+        mirrored_rows, mirrored_cols = cols[off_diag], rows[off_diag]
+        rows = np.concatenate([rows, mirrored_rows])
+        cols = np.concatenate([cols, mirrored_cols])
+        vals = np.concatenate([vals, vals[off_diag]])
+    coo = COOMatrix((n_rows, n_cols), rows, cols, vals)
+    coo.validate()
+    return coo
+
+
+def write_matrix_market(path: str | Path, matrix: COOMatrix) -> None:
+    """Write a COO matrix as a general real coordinate MatrixMarket file."""
+    matrix.validate()
+    canon = matrix.coalesce()
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        fh.write(_HEADER.format(field="real"))
+        fh.write(f"{canon.n_rows} {canon.n_cols} {canon.nnz}\n")
+        for r, c, v in zip(canon.rows, canon.cols, canon.vals):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {v:.17g}\n")

@@ -1,0 +1,134 @@
+"""Algorithm interface: every spGEMM scheme has a numeric and a performance plane.
+
+:class:`MultiplyContext` packages one multiplication problem (operands in the
+formats the kernels read, plus the precalculated workload vectors the paper's
+Section IV-B computes).  An algorithm then offers:
+
+* ``multiply(ctx)`` — the numeric plane: compute C exactly, using the
+  scheme's own expansion order.
+* ``build_trace(ctx, config)`` — the performance plane: the thread blocks the
+  scheme would launch, for the simulator.
+* ``run(ctx, simulator)`` — both, conveniently.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.costs import DEFAULT_COSTS, CostModel
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.stats import KernelStats
+from repro.gpusim.trace import KernelTrace
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import check_multipliable
+from repro.spgemm.expansion import expand_outer
+from repro.spgemm.merge import merge_triplets, row_nnz_of_triplets
+
+__all__ = ["MultiplyContext", "SpGEMMAlgorithm"]
+
+
+@dataclass
+class MultiplyContext:
+    """One multiplication problem plus its precalculated workload vectors.
+
+    The vectors mirror the paper's precalculation step: ``pair_work`` is the
+    block-wise nnz of the outer-product formulation, ``row_work`` the row-wise
+    nnz used by the merge model and B-Limiting.
+    """
+
+    a_csr: CSRMatrix
+    a_csc: CSCMatrix
+    b_csr: CSRMatrix
+
+    @classmethod
+    def build(
+        cls, a: CSRMatrix, b: CSRMatrix | None = None, a_csc: CSCMatrix | None = None
+    ) -> "MultiplyContext":
+        """Build a context for ``a @ b`` (``b`` defaults to ``a``: C = A^2)."""
+        b = a if b is None else b
+        check_multipliable(a.shape, b.shape)
+        return cls(a_csr=a, a_csc=a_csc if a_csc is not None else a.to_csc(), b_csr=b)
+
+    # ------------------------------------------------------------------
+    # Precalculated workloads (Section IV-B)
+    # ------------------------------------------------------------------
+    @cached_property
+    def pair_work(self) -> np.ndarray:
+        """Products per column/row pair k — the block-wise nnz."""
+        return self.a_csc.col_nnz() * self.b_csr.row_nnz()
+
+    @property
+    def total_work(self) -> int:
+        """nnz(C-hat): total intermediate products."""
+        return int(self.pair_work.sum())
+
+    @cached_property
+    def row_work(self) -> np.ndarray:
+        """Intermediate products landing in each output row — row-wise nnz."""
+        b_row_nnz = self.b_csr.row_nnz()
+        per_entry = b_row_nnz[self.a_csr.indices]
+        out = np.zeros(self.a_csr.n_rows, dtype=np.int64)
+        row_of = np.repeat(np.arange(self.a_csr.n_rows, dtype=np.int64), self.a_csr.row_nnz())
+        np.add.at(out, row_of, per_entry)
+        return out
+
+    @cached_property
+    def reference_c(self) -> CSRMatrix:
+        """The exact product, computed once via outer expansion + merge."""
+        rows, cols, vals = expand_outer(self.a_csc, self.b_csr)
+        return merge_triplets(rows, cols, vals, self.out_shape)
+
+    @cached_property
+    def c_row_nnz(self) -> np.ndarray:
+        """Unique output coordinates per row (the symbolic multiply)."""
+        if "reference_c" in self.__dict__:
+            return self.reference_c.row_nnz()
+        rows, cols, _ = expand_outer(self.a_csc, self.b_csr)
+        return row_nnz_of_triplets(rows, cols, self.out_shape)
+
+    @property
+    def out_shape(self) -> tuple[int, int]:
+        return (self.a_csr.n_rows, self.b_csr.n_cols)
+
+    @property
+    def nnz_c(self) -> int:
+        return int(self.c_row_nnz.sum())
+
+
+class SpGEMMAlgorithm(abc.ABC):
+    """Base class for every spGEMM scheme in the library."""
+
+    #: short identifier used in bench tables ("row-product", "cusparse", ...)
+    name: str = "abstract"
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS) -> None:
+        self.costs = costs
+
+    @abc.abstractmethod
+    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
+        """Compute ``A @ B`` exactly, using this scheme's expansion order."""
+
+    @abc.abstractmethod
+    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
+        """Describe the thread blocks this scheme launches on ``config``."""
+
+    def run(
+        self, ctx: MultiplyContext, simulator: GPUSimulator
+    ) -> tuple[CSRMatrix, KernelStats]:
+        """Numeric result + simulated profile in one call."""
+        c = self.multiply(ctx)
+        stats = simulator.run(self.build_trace(ctx, simulator.config))
+        return c, stats
+
+    def simulate(self, ctx: MultiplyContext, simulator: GPUSimulator) -> KernelStats:
+        """Simulated profile only (benches reuse the shared numeric result)."""
+        return simulator.run(self.build_trace(ctx, simulator.config))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

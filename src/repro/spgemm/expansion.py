@@ -1,0 +1,80 @@
+"""Numeric expansion: generate the intermediate matrix C-hat.
+
+Both product formulations generate exactly the same multiset of triplets
+``(i, j, a_ik * b_kj)`` — they differ in *grouping* (and hence in GPU load
+shape, which the trace builders capture):
+
+* :func:`expand_outer` — grouped by inner index ``k``: column ``a_{*k}``
+  times row ``b_{k*}`` (Equation 2; one thread block per pair).
+* :func:`expand_row` — grouped by output row ``i``: Gustavson's formulation
+  (one thread group per row).
+
+Both are fully vectorised; the returned arrays are the numeric ground truth
+that the merge stage coalesces into C.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import check_multipliable
+
+__all__ = ["expand_outer", "expand_row"]
+
+
+def _segment_offsets(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """For segments of the given sizes, return (segment id, offset within
+    segment) for every element of the concatenation."""
+    total = int(counts.sum())
+    seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return seg_of, offsets
+
+
+def expand_outer(a_csc: CSCMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Outer-product expansion of ``A @ B``.
+
+    Returns ``(rows, cols, vals)`` of C-hat, ordered by pair ``k`` then by
+    (position in a-column, position in b-row) — the order an outer-product
+    kernel would emit.
+    """
+    check_multipliable(a_csc.shape, b_csr.shape)
+    na = a_csc.col_nnz()
+    nb = b_csr.row_nnz()
+    counts = na * nb
+    pair_of, offsets = _segment_offsets(counts)
+
+    nb_per = nb[pair_of]
+    a_pos = offsets // np.maximum(nb_per, 1)
+    b_pos = offsets % np.maximum(nb_per, 1)
+
+    a_idx = a_csc.indptr[pair_of] + a_pos
+    b_idx = b_csr.indptr[pair_of] + b_pos
+    rows = a_csc.indices[a_idx]
+    cols = b_csr.indices[b_idx]
+    vals = a_csc.data[a_idx] * b_csr.data[b_idx]
+    return rows, cols, vals
+
+
+def expand_row(a_csr: CSRMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-product (Gustavson) expansion of ``A @ B``.
+
+    Returns ``(rows, cols, vals)`` of C-hat, ordered by output row then by
+    the a-entry within the row then by the b-entry — the order a row-product
+    kernel would emit.
+    """
+    check_multipliable(a_csr.shape, b_csr.shape)
+    b_row_nnz = b_csr.row_nnz()
+    per_entry = b_row_nnz[a_csr.indices]
+    entry_of, offsets = _segment_offsets(per_entry)
+
+    row_of_entry = np.repeat(np.arange(a_csr.n_rows, dtype=np.int64), a_csr.row_nnz())
+    rows = row_of_entry[entry_of]
+    b_rows = a_csr.indices[entry_of]
+    b_idx = b_csr.indptr[b_rows] + offsets
+    cols = b_csr.indices[b_idx]
+    vals = a_csr.data[entry_of] * b_csr.data[b_idx]
+    return rows, cols, vals

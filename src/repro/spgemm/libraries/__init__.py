@@ -1,0 +1,9 @@
+"""Library comparators: cost models of the spGEMM implementations the paper
+benchmarks against (cuSPARSE, CUSP, bhSPARSE on the GPU; MKL on the host)."""
+
+from repro.spgemm.libraries.bhsparse import BhSparseSpGEMM
+from repro.spgemm.libraries.cusp import CuspSpGEMM
+from repro.spgemm.libraries.cusparse import CuSparseSpGEMM
+from repro.spgemm.libraries.mkl import MklSpGEMM
+
+__all__ = ["BhSparseSpGEMM", "CuspSpGEMM", "CuSparseSpGEMM", "MklSpGEMM"]

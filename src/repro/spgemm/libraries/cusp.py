@@ -1,0 +1,82 @@
+"""CUSP-like comparator (ESC: expand, sort, compress).
+
+CUSP materialises every intermediate product as a COO triplet, radix-sorts
+the whole list by coordinate, then segment-reduces duplicates.  The expansion
+is perfectly balanced (flat index space), but the sort makes several full
+passes over 16-byte records — the scheme's traffic grows as
+``O(T · digits)`` and it lands last on large inputs (0.22x average in the
+paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.block import BlockArrayBuilder
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
+from repro.sparse.csr import CSRMatrix
+from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
+from repro.spgemm.expansion import expand_row
+from repro.spgemm.merge import merge_triplets
+from repro.spgemm.traceutil import ceil_div
+
+__all__ = ["CuspSpGEMM"]
+
+_COO_BYTES = 16.0  # row + col + value per intermediate record
+_RADIX_PASSES = 5
+
+
+def _flat_blocks(total_elems: int, bytes_per_elem: float, rw_factor: float, instr: float):
+    """Balanced flat-index blocks sweeping ``total_elems`` records."""
+    builder = BlockArrayBuilder()
+    if total_elems <= 0:
+        return builder.build()
+    per_block = 4096
+    n_blocks = int(ceil_div(total_elems, per_block))
+    elems = np.full(n_blocks, per_block, dtype=np.int64)
+    elems[-1] = total_elems - per_block * (n_blocks - 1)
+    iters = ceil_div(elems, 256).astype(np.float64) * instr
+    bytes_moved = elems * bytes_per_elem * rw_factor
+    builder.add_blocks(
+        threads=256,
+        effective_threads=np.minimum(elems, 256),
+        iters=iters,
+        ops=elems,
+        unique_bytes=bytes_moved * 0.5,
+        reuse_bytes=np.zeros(n_blocks),
+        write_bytes=bytes_moved * 0.5,
+        smem_bytes=8192,
+        working_set=np.full(n_blocks, per_block * bytes_per_elem),
+        transactions=bytes_moved / 32.0,
+    )
+    return builder.build()
+
+
+class CuspSpGEMM(SpGEMMAlgorithm):
+    """Expand-sort-compress spGEMM (CUSP model)."""
+
+    name = "cusp"
+
+    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
+        """Numeric plane: expansion + (sort-based) coalesce — ESC is exactly
+        our numeric merge, so this is the one scheme whose numeric path
+        matches its performance model one-to-one."""
+        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
+        return merge_triplets(rows, cols, vals, ctx.out_shape)
+
+    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
+        """Balanced expansion, radix-sort passes, segmented compression."""
+        t = ctx.total_work
+        expansion = _flat_blocks(t, _COO_BYTES, rw_factor=1.0, instr=2.0)
+        sort_blocks = _flat_blocks(t, _COO_BYTES, rw_factor=2.0 * _RADIX_PASSES, instr=4.0)
+        compress = _flat_blocks(t, _COO_BYTES, rw_factor=1.0, instr=1.5)
+        return KernelTrace(
+            algorithm=self.name,
+            phases=[
+                KernelPhase("expand", PHASE_EXPANSION, expansion),
+                KernelPhase("sort", PHASE_MERGE, sort_blocks),
+                KernelPhase("compress", PHASE_MERGE, compress),
+            ],
+            meta={"total_work": t},
+        )

@@ -1,0 +1,24 @@
+"""Reference spGEMM: the numeric ground truth.
+
+A plain expand-then-coalesce product with no performance modelling attached.
+Every other scheme's ``multiply`` must agree with this bit-for-bit on
+structure and to rounding on values; the test suite additionally checks it
+against ``scipy.sparse`` when available.
+"""
+
+from __future__ import annotations
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.spgemm.expansion import expand_outer
+from repro.spgemm.merge import merge_triplets
+
+__all__ = ["reference_spgemm"]
+
+
+def reference_spgemm(a: CSRMatrix, b: CSRMatrix | None = None) -> CSRMatrix:
+    """Compute ``a @ b`` exactly (``b`` defaults to ``a``)."""
+    b = a if b is None else b
+    a_csc: CSCMatrix = a.to_csc()
+    rows, cols, vals = expand_outer(a_csc, b)
+    return merge_triplets(rows, cols, vals, (a.n_rows, b.n_cols))

@@ -1,0 +1,65 @@
+"""Row-product spGEMM baseline — the paper's 1.0x reference.
+
+Gustavson-style: each output row ``i`` is produced by one thread, which walks
+row ``a_{i*}`` and accumulates scaled rows of B.  Threads in a block get rows
+of wildly different cost on power-law inputs — the thread-level load-imbalance
+problem the paper's Figure 2 illustrates — but the merge is row-wise (the
+cheap form), and the scheme needs no preprocessing.  The paper normalises all
+results to this baseline.
+"""
+
+from __future__ import annotations
+
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
+from repro.sparse.csr import CSRMatrix
+from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
+from repro.spgemm.expansion import expand_row
+from repro.spgemm.merge import merge_triplets
+from repro.spgemm.traceutil import entry_chunk_blocks, merge_blocks
+
+__all__ = ["RowProductSpGEMM"]
+
+
+class RowProductSpGEMM(SpGEMMAlgorithm):
+    """Thread-per-row Gustavson expansion with row-form merge."""
+
+    name = "row-product"
+
+    def __init__(self, *args, block_threads: int = 128, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.block_threads = block_threads
+
+    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
+        """Numeric plane: expand by output row, then coalesce."""
+        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
+        return merge_triplets(rows, cols, vals, ctx.out_shape)
+
+    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
+        """Performance plane: thread-per-A-entry blocks + row-form merge."""
+        entry_work = self.ctx_entry_work(ctx)
+        expansion = entry_chunk_blocks(
+            entry_work,
+            self.costs,
+            threads=self.block_threads,
+            instr_scale=self.costs.row_exp_instr_scale,
+        )
+        merge = merge_blocks(ctx.row_work, ctx.c_row_nnz, self.costs, row_form=True)
+        return KernelTrace(
+            algorithm=self.name,
+            phases=[
+                KernelPhase("expansion", PHASE_EXPANSION, expansion),
+                KernelPhase(
+                    "merge",
+                    PHASE_MERGE,
+                    merge,
+                    instr_override=self.costs.instr_per_merge_elem_row,
+                ),
+            ],
+            meta={"total_work": ctx.total_work},
+        )
+
+    @staticmethod
+    def ctx_entry_work(ctx: MultiplyContext) -> "np.ndarray":
+        """Products per A-entry: ``nnz(b_{col(e)*})`` in CSR order."""
+        return ctx.b_csr.row_nnz()[ctx.a_csr.indices]

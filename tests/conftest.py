@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+All fixtures build *small* matrices (tests never touch the big bench
+datasets) and are deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.random import banded_regular, power_law
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_dense(rng):
+    """A 12x9 dense array with ~35% fill, including a zero row and column."""
+    dense = (rng.random((12, 9)) < 0.35) * rng.random((12, 9))
+    dense[3, :] = 0.0
+    dense[:, 5] = 0.0
+    return dense
+
+
+@pytest.fixture
+def small_coo(small_dense):
+    return COOMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def small_csr(small_dense):
+    return CSRMatrix.from_dense(small_dense)
+
+
+@pytest.fixture
+def square_csr(rng):
+    """A 60x60 sparse square matrix for multiplication tests."""
+    dense = (rng.random((60, 60)) < 0.12) * rng.random((60, 60))
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture
+def skewed_csr():
+    """A small power-law matrix with pronounced hub rows."""
+    return power_law(300, 3000, seed=7).to_csr()
+
+
+@pytest.fixture
+def regular_csr():
+    """A small banded matrix with near-uniform degrees."""
+    return banded_regular(300, 8, seed=8).to_csr()
+
+
+def random_csr(rng, n_rows: int, n_cols: int, density: float) -> CSRMatrix:
+    """Helper used by several test modules."""
+    dense = (rng.random((n_rows, n_cols)) < density) * rng.random((n_rows, n_cols))
+    return CSRMatrix.from_dense(dense)

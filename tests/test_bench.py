@@ -1,0 +1,130 @@
+"""Bench-harness tests: runner, tables and experiment plumbing (small inputs).
+
+These use the two smallest catalog datasets so the whole module stays fast;
+the full-suite runs live in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.bench.runner import (
+    ablation_algorithms,
+    clear_context_cache,
+    get_context,
+    paper_algorithms,
+    run_matrix,
+)
+from repro.bench.tables import format_table, geomean
+from repro.gpusim.config import TITAN_XP
+
+SMALL = ["poisson3da", "as_caida"]
+
+
+class TestTables:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_empty(self):
+        assert math.isnan(geomean([]))
+
+    def test_geomean_nonpositive(self):
+        assert math.isnan(geomean([1.0, 0.0]))
+
+    def test_format_table_alignment(self):
+        out = format_table(["name", "x"], [["a", 1.5], ["bb", 2.25]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in out and "2.25" in out
+
+    def test_format_table_mixed_types(self):
+        out = format_table(["name", "n", "f"], [["row", 7, 0.123]])
+        assert "7" in out and "0.12" in out
+
+
+class TestRunner:
+    def test_context_cached(self):
+        clear_context_cache()
+        a = get_context("poisson3da")
+        b = get_context("poisson3da")
+        assert a is b
+
+    def test_paper_algorithms_roster(self):
+        names = [a.name for a in paper_algorithms()]
+        assert names == [
+            "row-product",
+            "outer-product",
+            "cusparse",
+            "cusp",
+            "bhsparse",
+            "mkl",
+            "block-reorganizer",
+        ]
+
+    def test_ablation_roster(self):
+        variants = ablation_algorithms()
+        assert set(variants) == {
+            "B-Limiting",
+            "B-Splitting",
+            "B-Gathering",
+            "Block-Reorganizer",
+        }
+        assert not variants["B-Limiting"].options.enable_splitting
+        assert not variants["B-Splitting"].options.enable_gathering
+        assert not variants["B-Gathering"].options.enable_limiting
+
+    def test_run_matrix(self):
+        results = run_matrix(SMALL, paper_algorithms(), TITAN_XP)
+        assert len(results) == len(SMALL) * 7
+        for (name, algo), res in results.items():
+            assert res.seconds > 0
+            assert res.dataset == name
+            assert res.algorithm == algo
+
+    def test_speedup_over(self):
+        results = run_matrix(SMALL[:1], paper_algorithms(), TITAN_XP)
+        base = results[(SMALL[0], "row-product")]
+        assert base.speedup_over(base) == pytest.approx(1.0)
+
+
+class TestExperimentsSmoke:
+    def test_fig08_on_small_subset(self):
+        from repro.bench.experiments import fig08_speedup
+
+        result = fig08_speedup.run(datasets=SMALL)
+        text = fig08_speedup.format_result(result)
+        assert "GEOMEAN" in text
+        assert all(result.speedups[(d, "row-product")] == 1.0 for d in SMALL)
+
+    def test_fig10_on_small_subset(self):
+        from repro.bench.experiments import fig10_techniques
+
+        result = fig10_techniques.run(datasets=SMALL)
+        assert set(result.geomeans()) == set(fig10_techniques.TECHNIQUES)
+
+    def test_fig11_on_skewed_subset(self):
+        from repro.bench.experiments import fig11_lbi
+
+        result = fig11_lbi.run(datasets=["as_caida"])
+        assert result.datasets == ["as_caida"]
+        assert result.speedup[("as_caida", 1)] == pytest.approx(1.0)
+
+    def test_fig13_on_small_subset(self):
+        from repro.bench.experiments import fig13_sync_stalls
+
+        result = fig13_sync_stalls.run(datasets=SMALL)
+        for d in SMALL:
+            assert 0 <= result.after_pct[d] <= 100
+
+    def test_table1(self):
+        from repro.bench.experiments import table1_systems
+
+        rows = table1_systems.run()
+        assert rows[0]["gpu"] == "TITAN Xp"
+
+    def test_sec4e_on_alternative_dataset(self):
+        from repro.bench.experiments import sec4e_youtube
+
+        row = sec4e_youtube.run(dataset="as_caida")
+        assert row.dataset == "as_caida"
+        assert row.n_pairs > 0

@@ -1,0 +1,109 @@
+"""Tests for thread-block descriptors (BlockArray)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArray, BlockArrayBuilder, concatenate
+
+
+def _family(n, threads=64, eff=10, iters=3.0, ops=30):
+    b = BlockArrayBuilder()
+    b.add_blocks(
+        threads=threads,
+        effective_threads=np.full(n, eff),
+        iters=np.full(n, iters),
+        ops=np.full(n, ops),
+        unique_bytes=np.full(n, 100.0),
+        reuse_bytes=np.full(n, 50.0),
+        write_bytes=np.full(n, 200.0),
+        working_set=np.full(n, 100.0),
+        transactions=np.full(n, 5.0),
+    )
+    return b.build()
+
+
+class TestBuilder:
+    def test_empty_build(self):
+        assert len(BlockArrayBuilder().build()) == 0
+
+    def test_scalar_broadcast(self):
+        blocks = _family(4)
+        assert np.all(blocks.threads == 64)
+        assert len(blocks) == 4
+
+    def test_multiple_families_concatenate_in_order(self):
+        b = BlockArrayBuilder()
+        b.add_blocks(threads=32, effective_threads=np.array([1, 2]),
+                     iters=np.array([1.0, 1.0]), ops=np.array([1, 2]),
+                     unique_bytes=np.array([1.0, 1.0]))
+        b.add_blocks(threads=256, effective_threads=np.array([100]),
+                     iters=np.array([9.0]), ops=np.array([900]),
+                     unique_bytes=np.array([9.0]))
+        blocks = b.build()
+        assert list(blocks.threads) == [32, 32, 256]
+
+    def test_empty_family_skipped(self):
+        b = BlockArrayBuilder()
+        b.add_blocks(threads=32, effective_threads=np.zeros(0, np.int64),
+                     iters=np.zeros(0), ops=np.zeros(0, np.int64),
+                     unique_bytes=np.zeros(0))
+        assert len(b.build()) == 0
+
+    def test_defaults_zero(self):
+        b = BlockArrayBuilder()
+        b.add_blocks(threads=32, effective_threads=np.array([4]),
+                     iters=np.array([1.0]), ops=np.array([4]),
+                     unique_bytes=np.array([48.0]))
+        blocks = b.build()
+        assert blocks.atomics[0] == 0
+        assert blocks.collisions[0] == 0
+
+
+class TestBlockArray:
+    def test_column_length_check(self):
+        with pytest.raises(SimulationError, match="length"):
+            BlockArray(
+                np.array([32]), np.array([1, 2]), np.array([1.0]), np.array([1]),
+                np.array([1.0]), np.array([0.0]), np.array([0.0]), np.array([0]),
+                np.array([1.0]), np.array([0]), np.array([0]), np.array([0.0]),
+            )
+
+    def test_warps(self):
+        blocks = _family(1, threads=33)
+        assert blocks.warps[0] == 2
+
+    def test_total_ops(self):
+        assert _family(5, ops=7).total_ops == 35
+
+    def test_lane_utilization_full(self):
+        # 32 effective threads of 32, ops == warps*32*iters -> utilization 1.
+        b = BlockArrayBuilder()
+        b.add_blocks(threads=32, effective_threads=np.array([32]),
+                     iters=np.array([4.0]), ops=np.array([128]),
+                     unique_bytes=np.array([1.0]))
+        assert b.build().lane_utilization()[0] == pytest.approx(1.0)
+
+    def test_lane_utilization_underloaded(self):
+        # 2 of 32 lanes busy -> 1/16 utilization.
+        b = BlockArrayBuilder()
+        b.add_blocks(threads=32, effective_threads=np.array([2]),
+                     iters=np.array([4.0]), ops=np.array([8]),
+                     unique_bytes=np.array([1.0]))
+        assert b.build().lane_utilization()[0] == pytest.approx(1 / 16)
+
+    def test_select(self):
+        blocks = _family(6)
+        mask = np.array([True, False, True, False, False, True])
+        assert len(blocks.select(mask)) == 3
+
+    def test_concatenate(self):
+        out = concatenate([_family(2), _family(3)])
+        assert len(out) == 5
+
+    def test_concatenate_skips_empty(self):
+        out = concatenate([BlockArray.empty(), _family(2)])
+        assert len(out) == 2
+
+    def test_concatenate_all_empty(self):
+        assert len(concatenate([BlockArray.empty()])) == 0

@@ -1,0 +1,81 @@
+"""Tests for workload classification (Section IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import classify_pairs
+from repro.errors import ConfigurationError
+
+
+def test_masks_disjoint_and_cover_active():
+    work = np.array([0, 5, 500_000, 20, 64, 0])
+    eff = np.array([0, 3, 1000, 40, 8, 0])
+    classes = classify_pairs(work, eff, alpha=0.1)
+    total = classes.dominator | classes.underloaded | classes.normal
+    assert np.array_equal(total, work > 0)
+    assert not np.any(classes.dominator & classes.underloaded)
+    assert not np.any(classes.dominator & classes.normal)
+    assert not np.any(classes.underloaded & classes.normal)
+
+
+def test_hub_pair_is_dominator():
+    work = np.concatenate([np.full(1000, 10), [1_000_000]])
+    eff = np.concatenate([np.full(1000, 40), [1000]])
+    classes = classify_pairs(work, eff)
+    assert classes.dominator[-1]
+    assert classes.n_dominators == 1
+
+
+def test_underloaded_below_warp():
+    work = np.full(100, 50)
+    eff = np.concatenate([np.full(50, 10), np.full(50, 64)])
+    classes = classify_pairs(work, eff)
+    assert classes.n_underloaded == 50
+    assert classes.n_normal == 50
+
+
+def test_alpha_controls_selectivity():
+    rng = np.random.default_rng(0)
+    work = (rng.pareto(1.0, 2000) * 100).astype(np.int64) + 1
+    eff = np.full(2000, 64)
+    strict = classify_pairs(work, eff, alpha=0.02)  # high threshold
+    loose = classify_pairs(work, eff, alpha=1.0)  # low threshold
+    assert strict.n_dominators <= loose.n_dominators
+
+
+def test_threshold_formula():
+    work = np.array([10, 10, 10, 10])
+    eff = np.full(4, 64)
+    classes = classify_pairs(work, eff, alpha=0.5)
+    # threshold = total / (#blocks * alpha) = 40 / 2 = 20.
+    assert classes.threshold == pytest.approx(20.0)
+    assert classes.n_dominators == 0
+
+
+def test_empty_input():
+    classes = classify_pairs(np.zeros(0, np.int64), np.zeros(0, np.int64))
+    assert classes.n_dominators == classes.n_underloaded == classes.n_normal == 0
+
+
+def test_all_zero_work():
+    classes = classify_pairs(np.zeros(5, np.int64), np.zeros(5, np.int64))
+    assert not classes.dominator.any()
+
+
+def test_invalid_alpha():
+    with pytest.raises(ConfigurationError):
+        classify_pairs(np.array([1]), np.array([1]), alpha=0.0)
+
+
+def test_mismatched_shapes():
+    with pytest.raises(ConfigurationError):
+        classify_pairs(np.array([1, 2]), np.array([1]))
+
+
+def test_empty_pairs_never_classified():
+    work = np.array([0, 100])
+    eff = np.array([0, 8])
+    classes = classify_pairs(work, eff)
+    assert not classes.dominator[0]
+    assert not classes.underloaded[0]
+    assert not classes.normal[0]

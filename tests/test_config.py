@@ -1,0 +1,52 @@
+"""GPU/CPU configuration tests (Table I constants)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.config import (
+    ALL_GPUS,
+    GPUConfig,
+    RTX_2080TI,
+    TESLA_V100,
+    TITAN_XP,
+    XEON_E5_2640V4,
+)
+
+
+def test_table1_sm_counts():
+    assert TITAN_XP.n_sms == 30
+    assert TESLA_V100.n_sms == 80
+    assert RTX_2080TI.n_sms == 68
+
+
+def test_table1_clocks():
+    assert TITAN_XP.clock_mhz == pytest.approx(1582.0)
+    assert TESLA_V100.clock_mhz == pytest.approx(1380.0)
+    assert RTX_2080TI.clock_mhz == pytest.approx(1545.0)
+
+
+def test_compute_capabilities():
+    assert TITAN_XP.compute_capability == "6.1"
+    assert TESLA_V100.compute_capability == "7.0"
+    assert RTX_2080TI.compute_capability == "7.5"
+
+
+def test_bytes_per_cycle_sane():
+    for gpu in ALL_GPUS:
+        bpc = gpu.bytes_per_cycle_dram()
+        assert 50 < bpc < 1000
+        assert gpu.bytes_per_cycle_l2() > bpc  # L2 faster than DRAM
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ConfigurationError):
+        GPUConfig(name="bad", n_sms=0, clock_mhz=1000.0, compute_capability="0.0")
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        TITAN_XP.n_sms = 1
+
+
+def test_cpu_clock():
+    assert XEON_E5_2640V4.clock_hz == pytest.approx(3.4e9)

@@ -1,0 +1,78 @@
+"""Conversion tests: all six paths preserve values and canonicalise."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.convert import (
+    coo_to_csc,
+    coo_to_csr,
+    csc_to_coo,
+    csc_to_csr,
+    csr_to_coo,
+    csr_to_csc,
+)
+from repro.sparse.coo import COOMatrix
+
+
+@pytest.fixture
+def dup_coo():
+    """COO with duplicate coordinates (conversion must coalesce)."""
+    return COOMatrix(
+        (4, 4),
+        np.array([0, 2, 0, 3, 2]),
+        np.array([1, 3, 1, 0, 3]),
+        np.array([1.0, 2.0, 3.0, 4.0, 5.0]),
+    )
+
+
+def test_coo_to_csr_coalesces(dup_coo):
+    csr = coo_to_csr(dup_coo)
+    assert csr.nnz == 3
+    assert csr.to_dense()[0, 1] == pytest.approx(4.0)
+    assert csr.to_dense()[2, 3] == pytest.approx(7.0)
+
+
+def test_coo_to_csc_coalesces(dup_coo):
+    csc = coo_to_csc(dup_coo)
+    assert csc.nnz == 3
+    assert csc.to_dense()[0, 1] == pytest.approx(4.0)
+
+
+def test_csr_csc_preserve_values(small_csr):
+    assert np.allclose(csr_to_csc(small_csr).to_dense(), small_csr.to_dense())
+
+
+def test_csc_csr_preserve_values(small_dense):
+    from repro.sparse.csc import CSCMatrix
+
+    csc = CSCMatrix.from_dense(small_dense)
+    assert np.allclose(csc_to_csr(csc).to_dense(), small_dense)
+
+
+def test_all_paths_agree(small_coo):
+    dense = small_coo.to_dense()
+    for m in (
+        coo_to_csr(small_coo),
+        coo_to_csc(small_coo),
+        csr_to_csc(coo_to_csr(small_coo)),
+        csc_to_csr(coo_to_csc(small_coo)),
+        csr_to_coo(coo_to_csr(small_coo)),
+        csc_to_coo(coo_to_csc(small_coo)),
+    ):
+        assert np.allclose(m.to_dense(), dense)
+
+
+def test_csr_output_sorted(small_coo):
+    assert coo_to_csr(small_coo).has_sorted_indices()
+
+
+def test_empty_matrix_conversions():
+    empty = COOMatrix.empty((3, 5))
+    assert coo_to_csr(empty).nnz == 0
+    assert coo_to_csc(empty).nnz == 0
+
+
+def test_rectangular_shapes_preserved():
+    coo = COOMatrix((2, 9), np.array([1]), np.array([8]), np.array([1.0]))
+    assert coo_to_csr(coo).shape == (2, 9)
+    assert coo_to_csc(coo).shape == (2, 9)

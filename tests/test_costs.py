@@ -1,0 +1,38 @@
+"""Cost-model tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+
+
+def test_defaults_positive():
+    c = DEFAULT_COSTS
+    assert c.instr_per_product > 0
+    assert c.mem_latency > c.l2_latency > 0
+    assert c.tb_launch_cycles > 0
+
+
+def test_with_overrides_returns_copy():
+    c = DEFAULT_COSTS.with_overrides(mem_latency=1000.0)
+    assert c.mem_latency == 1000.0
+    assert DEFAULT_COSTS.mem_latency != 1000.0
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ConfigurationError):
+        CostModel(instr_per_product=-1.0)
+
+
+def test_frozen():
+    with pytest.raises(AttributeError):
+        DEFAULT_COSTS.mem_latency = 0.0
+
+
+def test_row_merge_cheaper_than_matrix_merge():
+    """The paper's claim: row-wise accumulation beats full-matrix accumulation."""
+    assert DEFAULT_COSTS.instr_per_merge_elem_row < DEFAULT_COSTS.instr_per_merge_elem
+    assert (
+        DEFAULT_COSTS.merge_row_sectors_per_elem
+        <= DEFAULT_COSTS.merge_matrix_sectors_per_elem
+    )

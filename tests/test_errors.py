@@ -1,0 +1,31 @@
+"""Error-hierarchy tests: one base class catches everything."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    ReproError,
+    ShapeMismatchError,
+    SimulationError,
+    SparseFormatError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [SparseFormatError, ShapeMismatchError, DatasetError, SimulationError, ConfigurationError],
+)
+def test_all_derive_from_base(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_base_catches_library_errors():
+    from repro.sparse.coo import COOMatrix
+    import numpy as np
+
+    bad = COOMatrix((2, 2), np.array([5]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ReproError):
+        bad.validate()

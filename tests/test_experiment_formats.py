@@ -1,0 +1,118 @@
+"""Formatting tests for the experiment modules (small dataset slices).
+
+The bench suite exercises full runs; these verify each module's
+``format_result`` renders the paper-style rows without touching the big
+dataset matrix.
+"""
+
+import pytest
+
+SMALL = ["poisson3da", "as_caida"]
+SKEWED = ["as_caida"]
+
+
+def test_fig03_format():
+    from repro.bench.experiments import fig03_motivation
+
+    rows = fig03_motivation.run(datasets=SMALL)
+    text = fig03_motivation.format_result(rows)
+    assert "Fig 3(a)" in text and "Fig 3(b)" in text and "Fig 3(c)" in text
+    assert "as_caida" in text
+
+
+def test_fig09_format():
+    from repro.bench.experiments import fig09_gflops
+
+    result = fig09_gflops.run(datasets=SMALL)
+    text = fig09_gflops.format_result(result)
+    assert "GFLOPS" in text
+    assert "block-reorganizer" in text
+
+
+def test_fig10_format():
+    from repro.bench.experiments import fig10_techniques
+
+    result = fig10_techniques.run(datasets=SMALL)
+    text = fig10_techniques.format_result(result)
+    assert "B-Gathering" in text and "GEOMEAN" in text and "paper" in text
+
+
+def test_fig11_format():
+    from repro.bench.experiments import fig11_lbi
+
+    result = fig11_lbi.run(datasets=SKEWED)
+    text = fig11_lbi.format_result(result)
+    assert "x64" in text and "LBI" in text
+
+
+def test_fig12_format():
+    from repro.bench.experiments import fig12_l2_split
+
+    result = fig12_l2_split.run(datasets=SKEWED)
+    text = fig12_l2_split.format_result(result)
+    assert "improvement" in text
+
+
+def test_fig13_format():
+    from repro.bench.experiments import fig13_sync_stalls
+
+    result = fig13_sync_stalls.run(datasets=SMALL)
+    text = fig13_sync_stalls.format_result(result)
+    assert "stall% before" in text
+
+
+def test_fig14_format():
+    from repro.bench.experiments import fig14_l2_limit
+
+    result = fig14_l2_limit.run(datasets=SKEWED)
+    text = fig14_l2_limit.format_result(result)
+    assert "limiting factor" in text and "f=4" in text
+
+
+def test_fig15_format():
+    from repro.bench.experiments import fig15_scalability
+    from repro.gpusim.config import TITAN_XP
+
+    result = fig15_scalability.run(datasets=SMALL, gpus=(TITAN_XP,))
+    text = fig15_scalability.format_result(result)
+    assert "TITAN Xp" in text
+
+
+def test_fig16_format():
+    from repro.bench.experiments import fig16_synthetic
+
+    result = fig16_synthetic.run(a_datasets=["s1"], b_datasets=[])
+    text = fig16_synthetic.format_result(result)
+    assert "Fig 16(a)" in text and "s1" in text
+
+
+def test_fig16_b_only():
+    from repro.bench.experiments import fig16_synthetic
+
+    result = fig16_synthetic.run(a_datasets=[], b_datasets=["ab15"])
+    text = fig16_synthetic.format_result(result)
+    assert "Fig 16(b)" in text and "ab15" in text
+
+
+def test_sec4e_format():
+    from repro.bench.experiments import sec4e_youtube
+
+    row = sec4e_youtube.run(dataset="as_caida")
+    text = sec4e_youtube.format_result(row)
+    assert "walkthrough" in text and "B-Splitting" in text
+
+
+def test_table2_format():
+    from repro.bench.experiments import table2_datasets
+
+    rows = table2_datasets.run(datasets=SMALL)
+    text = table2_datasets.format_result(rows)
+    assert "paper dim" in text and "gini" in text
+
+
+def test_table3_format():
+    from repro.bench.experiments import table3_datasets
+
+    rows = table3_datasets.run(datasets=["s1", "ab15"])
+    text = table3_datasets.format_result(rows)
+    assert "A@B" in text and "parameters" in text

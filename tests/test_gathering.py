@@ -1,0 +1,95 @@
+"""Tests for B-Gathering (Section IV-C2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.gathering import gathering_factor, plan_gathering
+from repro.errors import ConfigurationError
+
+
+class TestFactor:
+    def test_paper_example(self):
+        """2 effective threads -> factor 16 fills a 32-lane warp."""
+        assert gathering_factor(np.array([2]))[0] == 16
+
+    def test_bins(self):
+        nb = np.array([1, 2, 3, 4, 5, 8, 9, 16, 17, 32])
+        factors = gathering_factor(nb)
+        assert list(factors) == [32, 16, 8, 8, 4, 4, 2, 2, 1, 1]
+
+    def test_factor_times_bin_fills_warp(self):
+        for nb in range(1, 33):
+            f = gathering_factor(np.array([nb]))[0]
+            bin_top = 1 << int(np.ceil(np.log2(nb)))
+            assert f * bin_top == 32 or (nb > 16 and f == 1)
+
+    def test_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            gathering_factor(np.array([0]))
+        with pytest.raises(ConfigurationError):
+            gathering_factor(np.array([33]))
+
+
+class TestPlan:
+    def _plan(self, na, nb):
+        na = np.asarray(na, dtype=np.int64)
+        nb = np.asarray(nb, dtype=np.int64)
+        mask = np.ones(len(na), dtype=bool)
+        return plan_gathering(na, nb, mask)
+
+    def test_empty(self):
+        plan = plan_gathering(np.zeros(0), np.zeros(0), np.zeros(0, dtype=bool))
+        assert plan.n_blocks == 0
+
+    def test_ops_conserved(self):
+        na = np.array([3, 5, 2, 7, 1, 9])
+        nb = np.array([2, 2, 2, 2, 2, 2])
+        plan = self._plan(na, nb)
+        assert plan.ops.sum() == (na * nb).sum()
+
+    def test_every_pair_in_exactly_one_group(self):
+        rng = np.random.default_rng(1)
+        na = rng.integers(1, 50, 300)
+        nb = rng.integers(1, 33, 300)
+        plan = self._plan(na, nb)
+        assert len(plan.group_of_pair) == 300
+        assert plan.partitions.sum() == 300
+
+    def test_gathering_factor_respected(self):
+        """A combined block never holds more micro-blocks than its factor."""
+        rng = np.random.default_rng(2)
+        na = rng.integers(1, 20, 500)
+        nb = rng.integers(1, 33, 500)
+        plan = self._plan(na, nb)
+        factors = gathering_factor(nb[np.argsort(gathering_factor(nb), kind="stable")])
+        # partition count per group bounded by 32 (factor for nb = 1).
+        assert plan.partitions.max() <= 32
+
+    def test_effective_threads_fill_warp(self):
+        """Gathering factor-many same-bin micro-blocks pack at most 32 lanes."""
+        na = np.full(64, 4)
+        nb = np.full(64, 2)  # factor 16, bins of 2 -> 32 lanes
+        plan = self._plan(na, nb)
+        assert np.all(plan.effective_threads <= 32)
+        full_groups = plan.partitions == 16
+        assert np.all(plan.effective_threads[full_groups] == 32)
+
+    def test_iters_is_max_partition(self):
+        na = np.array([3, 9, 5, 1])
+        nb = np.array([2, 2, 2, 2])  # single bin, factor 16 -> one group
+        plan = self._plan(na, nb)
+        assert plan.n_blocks == 1
+        assert plan.iters[0] == 9.0
+
+    def test_17_to_32_not_gathered(self):
+        na = np.full(10, 5)
+        nb = np.full(10, 20)  # bin (16, 32] -> factor 1
+        plan = self._plan(na, nb)
+        assert plan.n_blocks == 10
+        assert np.all(plan.partitions == 1)
+
+    def test_block_count_reduction(self):
+        na = np.full(320, 3)
+        nb = np.full(320, 2)  # factor 16
+        plan = self._plan(na, nb)
+        assert plan.n_blocks == 20

@@ -1,0 +1,96 @@
+"""MatrixMarket I/O tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+def test_roundtrip(tmp_path, small_coo):
+    path = tmp_path / "m.mtx"
+    write_matrix_market(path, small_coo)
+    back = read_matrix_market(path)
+    assert back.allclose(small_coo)
+
+
+def test_pattern_file(tmp_path):
+    path = tmp_path / "p.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "3 3 2\n"
+        "1 2\n"
+        "3 3\n"
+    )
+    coo = read_matrix_market(path)
+    dense = coo.to_dense()
+    assert dense[0, 1] == 1.0
+    assert dense[2, 2] == 1.0
+    assert coo.nnz == 2
+
+
+def test_symmetric_file(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 5.0\n"
+        "3 3 7.0\n"
+    )
+    dense = read_matrix_market(path).to_dense()
+    assert dense[1, 0] == 5.0
+    assert dense[0, 1] == 5.0  # mirrored
+    assert dense[2, 2] == 7.0  # diagonal not duplicated
+
+
+def test_comments_skipped(tmp_path):
+    path = tmp_path / "c.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment line\n"
+        "% another\n"
+        "2 2 1\n"
+        "1 1 3.5\n"
+    )
+    assert read_matrix_market(path).to_dense()[0, 0] == 3.5
+
+
+def test_missing_header(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("1 1 0\n")
+    with pytest.raises(SparseFormatError, match="header"):
+        read_matrix_market(path)
+
+
+def test_unsupported_field(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate complex general\n1 1 0\n")
+    with pytest.raises(SparseFormatError, match="unsupported field"):
+        read_matrix_market(path)
+
+
+def test_truncated_file(tmp_path):
+    path = tmp_path / "trunc.mtx"
+    path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+    with pytest.raises(SparseFormatError, match="truncated"):
+        read_matrix_market(path)
+
+
+def test_write_coalesces(tmp_path):
+    dup = COOMatrix((2, 2), np.array([0, 0]), np.array([0, 0]), np.array([1.0, 2.0]))
+    path = tmp_path / "d.mtx"
+    write_matrix_market(path, dup)
+    back = read_matrix_market(path)
+    assert back.nnz == 1
+    assert back.to_dense()[0, 0] == pytest.approx(3.0)
+
+
+def test_values_roundtrip_exactly(tmp_path, rng):
+    coo = COOMatrix(
+        (5, 5), rng.integers(0, 5, 8), rng.integers(0, 5, 8), rng.random(8)
+    ).coalesce()
+    path = tmp_path / "exact.mtx"
+    write_matrix_market(path, coo)
+    back = read_matrix_market(path)
+    assert np.array_equal(np.sort(back.vals), np.sort(coo.vals))

@@ -1,0 +1,105 @@
+"""Tests for latency hiding, the cache model and occupancy rules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArrayBuilder
+from repro.gpusim.cache import build_memory_model
+from repro.gpusim.config import TITAN_XP
+from repro.gpusim.costs import DEFAULT_COSTS
+from repro.gpusim.latency import exposed_latency
+from repro.gpusim.occupancy import phase_residency, resident_blocks_per_sm
+
+
+class TestLatency:
+    def test_single_warp_sees_full_latency(self):
+        assert exposed_latency(400.0, 4.0, 1.0) == pytest.approx(400.0)
+
+    def test_deep_pool_hides_everything(self):
+        assert exposed_latency(400.0, 4.0, 256.0) == pytest.approx(0.0, abs=2.0)
+
+    def test_monotone_in_pool(self):
+        vals = [exposed_latency(400.0, 4.0, w) for w in (1, 2, 4, 8, 16, 32)]
+        assert all(b <= a for a, b in zip(vals, vals[1:]))
+
+    def test_never_negative(self):
+        assert exposed_latency(10.0, 100.0, 50.0) == 0.0
+
+
+class TestOccupancy:
+    def test_thread_limit(self):
+        assert resident_blocks_per_sm(TITAN_XP, 256, 0) == 8
+
+    def test_block_cap(self):
+        assert resident_blocks_per_sm(TITAN_XP, 32, 0) == 32
+
+    def test_smem_limit(self):
+        # 24KB blocks: 96KB/24KB = 4 co-resident.
+        assert resident_blocks_per_sm(TITAN_XP, 32, 24 * 1024) == 4
+
+    def test_oversized_block_still_runs(self):
+        assert resident_blocks_per_sm(TITAN_XP, 4096, 200 * 1024) == 1
+
+    def test_invalid_threads(self):
+        with pytest.raises(SimulationError):
+            resident_blocks_per_sm(TITAN_XP, 0, 0)
+
+    def test_phase_residency_empty(self):
+        b = BlockArrayBuilder().build()
+        assert phase_residency(TITAN_XP, b) == 1
+
+
+def _blocks(ws, reuse=1000.0, unique=500.0, write=200.0, trans=10.0, n=4):
+    b = BlockArrayBuilder()
+    b.add_blocks(
+        threads=256,
+        effective_threads=np.full(n, 256),
+        iters=np.full(n, 10.0),
+        ops=np.full(n, 2560),
+        unique_bytes=np.full(n, unique),
+        reuse_bytes=np.full(n, reuse),
+        write_bytes=np.full(n, write),
+        working_set=np.full(n, ws),
+        transactions=np.full(n, trans),
+    )
+    return b.build()
+
+
+class TestCacheModel:
+    def test_small_working_set_hits_l1(self):
+        blocks = _blocks(ws=512.0)
+        mem = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 8))
+        assert mem.l1_hit[0] == pytest.approx(1.0)
+        # Reuse traffic never reaches DRAM.
+        assert mem.dram_bytes[0] <= 500.0 + 200.0 + 10.0 * 32
+
+    def test_huge_working_set_misses(self):
+        blocks = _blocks(ws=10e6)
+        mem = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 8))
+        assert mem.l1_hit[0] < 0.01
+        assert mem.l2_hit[0] < 0.01
+        assert mem.dram_bytes[0] >= 500.0 + 200.0 + 1000.0 * 0.9
+
+    def test_residency_increases_pressure(self):
+        blocks = _blocks(ws=30_000.0)
+        low = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 2))
+        high = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 16))
+        assert low.l2_hit[0] > high.l2_hit[0]
+        assert low.dram_bytes[0] <= high.dram_bytes[0]
+
+    def test_effective_latency_between_l2_and_dram(self):
+        blocks = _blocks(ws=30_000.0)
+        mem = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 8))
+        assert 0 < mem.effective_latency[0] <= DEFAULT_COSTS.mem_latency
+
+    def test_transaction_floor_applies_to_dram_share(self):
+        # All traffic unique (DRAM): the sector floor binds fully.
+        blocks = _blocks(ws=10e6, reuse=0.0, unique=10.0, write=0.0, trans=100.0)
+        mem = build_memory_model(TITAN_XP, DEFAULT_COSTS, blocks, np.full(4, 8))
+        assert mem.dram_bytes[0] == pytest.approx(100.0 * 32, rel=0.01)
+
+    def test_empty_blocks(self):
+        b = BlockArrayBuilder().build()
+        mem = build_memory_model(TITAN_XP, DEFAULT_COSTS, b, np.zeros(0))
+        assert len(mem.dram_bytes) == 0

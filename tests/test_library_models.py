@@ -1,0 +1,127 @@
+"""Deeper tests for the library comparator cost models."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.config import TITAN_XP
+from repro.gpusim.costs import DEFAULT_COSTS
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.libraries import BhSparseSpGEMM, CuspSpGEMM, CuSparseSpGEMM, MklSpGEMM
+from repro.spgemm.traceutil import row_chunk_blocks
+
+
+@pytest.fixture
+def ctx(square_csr):
+    return MultiplyContext.build(square_csr)
+
+
+class TestRowChunkBlocks:
+    def test_warp_per_row_balances_within_warp(self):
+        work = np.array([320, 320, 320, 320])
+        blocks = row_chunk_blocks(work, np.full(4, 5), DEFAULT_COSTS,
+                                  threads=128, work_granularity=32)
+        assert len(blocks) == 1
+        assert blocks.iters[0] == pytest.approx(10.0)  # 320/32 per warp
+
+    def test_thread_per_row_suffers_imbalance(self):
+        work = np.concatenate([np.full(127, 1), [1000]])
+        scalar = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS,
+                                  threads=128, work_granularity=1)
+        vector = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS,
+                                  threads=128, work_granularity=32)
+        # Scalar: one thread walks 1000 products; vector: a warp splits them.
+        assert scalar.iters[0] > 4 * vector.iters.max()
+
+    def test_instr_scale(self):
+        work = np.full(128, 32)
+        plain = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS)
+        scaled = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS,
+                                  instr_scale=3.0)
+        assert scaled.iters[0] == pytest.approx(3.0 * plain.iters[0])
+
+    def test_traffic_scale(self):
+        work = np.full(128, 32)
+        plain = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS)
+        scaled = row_chunk_blocks(work, np.ones(128, np.int64), DEFAULT_COSTS,
+                                  traffic_scale=2.0)
+        assert scaled.unique_bytes[0] == pytest.approx(2.0 * plain.unique_bytes[0])
+        assert scaled.transactions[0] == pytest.approx(2.0 * plain.transactions[0])
+
+    def test_rows_per_thread_coarsening(self):
+        work = np.full(256, 8)
+        blocks = row_chunk_blocks(work, np.ones(256, np.int64), DEFAULT_COSTS,
+                                  threads=128, rows_per_thread=2)
+        assert len(blocks) == 1
+        assert blocks.iters[0] == pytest.approx(16.0)  # two rows per thread
+
+
+class TestCuSparseModel:
+    def test_two_passes(self, ctx):
+        trace = CuSparseSpGEMM().build_trace(ctx, TITAN_XP)
+        assert [p.name for p in trace.phases] == ["symbolic", "numeric"]
+
+    def test_no_preprocessing_overhead(self, ctx):
+        trace = CuSparseSpGEMM().build_trace(ctx, TITAN_XP)
+        assert trace.host_seconds == 0.0
+        assert trace.device_setup_cycles == 0.0
+
+
+class TestCuspModel:
+    def test_three_phases(self, ctx):
+        trace = CuspSpGEMM().build_trace(ctx, TITAN_XP)
+        assert [p.name for p in trace.phases] == ["expand", "sort", "compress"]
+
+    def test_sort_traffic_scales_with_radix_passes(self, ctx):
+        from repro.spgemm.libraries import cusp
+
+        trace = CuspSpGEMM().build_trace(ctx, TITAN_XP)
+        sort = next(p.blocks for p in trace.phases if p.name == "sort")
+        expand = next(p.blocks for p in trace.phases if p.name == "expand")
+        total = lambda b: float(b.unique_bytes.sum() + b.write_bytes.sum())
+        assert total(sort) == pytest.approx(
+            2.0 * cusp._RADIX_PASSES * total(expand), rel=0.01
+        )
+
+    def test_balanced_blocks(self, ctx):
+        trace = CuspSpGEMM().build_trace(ctx, TITAN_XP)
+        for phase in trace.phases:
+            util = phase.blocks.lane_utilization()
+            assert util.mean() > 0.2  # flat-index blocks are never underloaded
+
+
+class TestBhSparseModel:
+    def test_bins_partition_rows(self, ctx):
+        trace = BhSparseSpGEMM().build_trace(ctx, TITAN_XP)
+        expansion_ops = sum(
+            p.blocks.total_ops for p in trace.phases if p.stage == "expansion"
+        )
+        assert expansion_ops == ctx.total_work
+
+    def test_binning_setup_charged(self, ctx):
+        trace = BhSparseSpGEMM().build_trace(ctx, TITAN_XP)
+        assert trace.device_setup_cycles > 0
+
+
+class TestMklModel:
+    def test_memory_bound_for_huge_traffic(self, ctx):
+        algo = MklSpGEMM()
+        t = algo.cpu_seconds(ctx)
+        memory_floor = ctx.total_work * algo.bytes_per_product / (
+            algo.cpu.dram_bandwidth_gbs * 1e9
+        )
+        assert t >= memory_floor
+
+    def test_straggler_row_bounds_time(self, skewed_csr):
+        ctx = MultiplyContext.build(skewed_csr)
+        algo = MklSpGEMM()
+        heaviest = float(ctx.row_work.max())
+        straggler = heaviest * algo.cycles_per_product / algo.cpu.clock_hz
+        assert algo.cpu_seconds(ctx) >= straggler
+
+    def test_stats_report_work(self, ctx):
+        sim = GPUSimulator(TITAN_XP)
+        stats = MklSpGEMM().simulate(ctx, sim)
+        assert stats.total_ops == ctx.total_work
+        assert stats.kernel_seconds == 0.0
+        assert stats.total_seconds == pytest.approx(stats.host_seconds)

@@ -1,0 +1,65 @@
+"""Tests for B-Limiting (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.core.limiting import LIMIT_SMEM_STEP, limited_row_mask, limiting_smem_bytes
+from repro.errors import ConfigurationError
+from repro.gpusim.config import TITAN_XP
+from repro.gpusim.occupancy import resident_blocks_per_sm
+
+
+class TestRowMask:
+    def test_heavy_rows_selected(self):
+        work = np.concatenate([np.full(1000, 10), [100_000]])
+        mask = limited_row_mask(work, beta=10.0)
+        assert mask[-1]
+        assert mask.sum() < 20
+
+    def test_empty_rows_never_selected(self):
+        work = np.array([0, 0, 100])
+        mask = limited_row_mask(work)
+        assert not mask[0] and not mask[1]
+
+    def test_all_zero(self):
+        assert not limited_row_mask(np.zeros(5, np.int64)).any()
+
+    def test_beta_selectivity(self):
+        rng = np.random.default_rng(3)
+        work = (rng.pareto(1.2, 5000) * 50).astype(np.int64) + 1
+        few = limited_row_mask(work, beta=1.0)   # high threshold
+        many = limited_row_mask(work, beta=100.0)  # low threshold
+        assert few.sum() <= many.sum()
+
+    def test_invalid_beta(self):
+        with pytest.raises(ConfigurationError):
+            limited_row_mask(np.array([1]), beta=0.0)
+
+
+class TestSmem:
+    def test_step_size_matches_paper(self):
+        assert LIMIT_SMEM_STEP == 6144
+
+    def test_paper_default_allocation(self):
+        """The paper fixes the limiting factor at 4 => 4 x 6144 extra bytes."""
+        out = limiting_smem_bytes(4096, 4, TITAN_XP.smem_per_sm)
+        assert out == 4096 + 4 * 6144
+
+    def test_clamped_to_sm_capacity(self):
+        out = limiting_smem_bytes(4096, 1000, TITAN_XP.smem_per_sm)
+        assert out == TITAN_XP.smem_per_sm
+
+    def test_zero_factor_identity(self):
+        assert limiting_smem_bytes(4096, 0, TITAN_XP.smem_per_sm) == 4096
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            limiting_smem_bytes(4096, -1, TITAN_XP.smem_per_sm)
+
+    def test_limiting_actually_reduces_residency(self):
+        """The whole point: extra shared memory caps co-resident blocks."""
+        base = resident_blocks_per_sm(TITAN_XP, 256, 4096)
+        limited = resident_blocks_per_sm(
+            TITAN_XP, 256, limiting_smem_bytes(4096, 4, TITAN_XP.smem_per_sm)
+        )
+        assert limited < base

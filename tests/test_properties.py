@@ -1,0 +1,176 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies generate small random sparse matrices; the invariants cover the
+format layer (round-trips), the numeric engine (all schemes agree with a
+dense reference), the Block Reorganizer's transformations (splitting and
+gathering are result-preserving / work-conserving) and the scheduler.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.classify import classify_pairs
+from repro.core.gathering import plan_gathering
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.core.splitting import plan_splitting
+from repro.gpusim.scheduler import list_schedule
+from repro.metrics.lbi import load_balancing_index
+from repro.sparse.coo import COOMatrix
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+from repro.spgemm.rowproduct import RowProductSpGEMM
+
+
+@st.composite
+def sparse_matrices(draw, max_dim=24, square=True):
+    """Random small COO matrices, possibly with duplicate coordinates."""
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = n_rows if square else draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, n_rows * n_cols))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return COOMatrix(
+        (n_rows, n_cols),
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals, dtype=np.float64),
+    )
+
+
+class TestFormatProperties:
+    @given(sparse_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_roundtrip(self, coo):
+        assert np.allclose(coo.to_csr().to_dense(), coo.to_dense())
+
+    @given(sparse_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_csc_roundtrip(self, coo):
+        assert np.allclose(coo.to_csc().to_dense(), coo.to_dense())
+
+    @given(sparse_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_csr_csc_agree(self, coo):
+        assert np.allclose(coo.to_csr().to_csc().to_dense(), coo.to_csc().to_dense())
+
+    @given(sparse_matrices(square=False))
+    @settings(max_examples=60, deadline=None)
+    def test_transpose_involution(self, coo):
+        csr = coo.to_csr()
+        assert csr.transpose().transpose().allclose(csr)
+
+    @given(sparse_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_coalesce_idempotent(self, coo):
+        once = coo.coalesce()
+        twice = once.coalesce()
+        assert once.allclose(twice)
+
+
+class TestSpGEMMProperties:
+    @given(sparse_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_all_schemes_match_dense(self, coo):
+        a = coo.to_csr()
+        dense = a.to_dense() @ a.to_dense()
+        ctx = MultiplyContext.build(a)
+        for algo in (RowProductSpGEMM(), OuterProductSpGEMM(), BlockReorganizer()):
+            assert np.allclose(algo.multiply(ctx).to_dense(), dense, atol=1e-9)
+
+    @given(sparse_matrices(), st.integers(1, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_reorganizer_invariant_to_splitting_factor(self, coo, factor):
+        a = coo.to_csr()
+        ctx = MultiplyContext.build(a)
+        opts = ReorganizerOptions(splitting_factor=factor, alpha=1.0)
+        c = BlockReorganizer(options=opts).multiply(ctx)
+        dense = a.to_dense() @ a.to_dense()
+        assert np.allclose(c.to_dense(), dense, atol=1e-9)
+
+    @given(sparse_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_trace_conserves_work(self, coo):
+        from repro.gpusim.config import TITAN_XP
+
+        ctx = MultiplyContext.build(coo.to_csr())
+        trace = BlockReorganizer().build_trace(ctx, TITAN_XP)
+        exp_ops = sum(p.blocks.total_ops for p in trace.phases if p.stage == "expansion")
+        assert exp_ops == ctx.total_work
+
+
+class TestReorganizerPlanProperties:
+    @given(
+        st.lists(st.integers(1, 2000), min_size=1, max_size=100),
+        st.lists(st.integers(1, 2000), min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_classification_partitions_active_pairs(self, na, nb):
+        n = min(len(na), len(nb))
+        na = np.array(na[:n], dtype=np.int64)
+        nb = np.array(nb[:n], dtype=np.int64)
+        classes = classify_pairs(na * nb, nb)
+        combined = (
+            classes.dominator.astype(int)
+            + classes.underloaded.astype(int)
+            + classes.normal.astype(int)
+        )
+        assert np.array_equal(combined, (na * nb > 0).astype(int))
+
+    @given(
+        st.lists(st.integers(1, 5000), min_size=1, max_size=50),
+        st.integers(1, 128),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_splitting_conserves_column_entries(self, na, n_sms):
+        na = np.array(na, dtype=np.int64)
+        nb = np.full(len(na), 64, dtype=np.int64)
+        mask = np.ones(len(na), dtype=bool)
+        plan = plan_splitting(na, nb, mask, n_sms)
+        for i in range(len(na)):
+            assert plan.na[plan.pair_ids == i].sum() == na[i]
+        assert np.all(plan.na > 0)
+
+    @given(
+        st.lists(st.integers(1, 100), min_size=1, max_size=200),
+        st.lists(st.integers(1, 31), min_size=1, max_size=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gathering_conserves_ops(self, na, nb):
+        n = min(len(na), len(nb))
+        na = np.array(na[:n], dtype=np.int64)
+        nb = np.array(nb[:n], dtype=np.int64)
+        plan = plan_gathering(na, nb, np.ones(n, dtype=bool))
+        assert plan.ops.sum() == (na * nb).sum()
+        assert plan.partitions.sum() == n
+        assert np.all(plan.effective_threads <= 32)
+
+
+class TestSchedulerProperties:
+    @given(
+        st.lists(st.floats(0.0, 1e6, allow_nan=False), min_size=0, max_size=300),
+        st.integers(1, 64),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_work_conservation_and_bounds(self, durations, n_sms, residency):
+        d = np.array(durations, dtype=np.float64)
+        result = list_schedule(d, n_sms, residency)
+        assert result.sm_busy.sum() == pytest.approx(d.sum(), rel=1e-9, abs=1e-6)
+        if len(d):
+            lower = max(d.max(), d.sum() / (n_sms * residency))
+            assert result.makespan >= lower - 1e-6
+            assert result.makespan <= 2.0 * lower + 1e-6
+        # (>= 0: denormal durations can underflow the mean to exactly 0.)
+        assert 0.0 <= load_balancing_index(result.sm_busy) <= 1.0

@@ -1,0 +1,103 @@
+"""Tests for the stand-in generators (banded regular + power law)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sparse.random import (
+    banded_regular,
+    degree_sequence_matrix,
+    power_law,
+    uniform_random,
+)
+from repro.sparse.stats import degree_stats
+
+
+class TestUniformRandom:
+    def test_shape_and_bounds(self):
+        m = uniform_random(50, 30, 200, seed=1)
+        assert m.shape == (50, 30)
+        m.validate()
+
+    def test_nnz_range_check(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            uniform_random(3, 3, 100, seed=1)
+
+    def test_deterministic(self):
+        assert uniform_random(40, 40, 150, seed=2).allclose(uniform_random(40, 40, 150, seed=2))
+
+
+class TestBandedRegular:
+    def test_regular_degrees(self):
+        m = banded_regular(400, 10, seed=3)
+        st = degree_stats(m.to_csr().row_nnz())
+        assert not st.skewed
+        assert abs(st.mean - 10) < 2.0
+
+    def test_band_structure(self):
+        m = banded_regular(400, 10, seed=4, bandwidth_factor=3.0)
+        off = np.abs(m.rows - m.cols)
+        assert off.max() <= 3.0 * 10 / 2 + 1
+
+    def test_bad_degree(self):
+        with pytest.raises(DatasetError, match="positive"):
+            banded_regular(10, 0, seed=0)
+
+    def test_deterministic(self):
+        assert banded_regular(100, 5, seed=5).allclose(banded_regular(100, 5, seed=5))
+
+
+class TestDegreeSequence:
+    def test_respects_degrees_before_dedup(self):
+        degrees = np.array([5, 0, 3, 1])
+        m = degree_sequence_matrix(degrees, 100, seed=6)
+        realised = m.to_csr().row_nnz()
+        assert np.all(realised <= degrees)
+        assert realised[1] == 0
+
+    def test_degree_out_of_range(self):
+        with pytest.raises(DatasetError, match="degree"):
+            degree_sequence_matrix(np.array([5]), 3, seed=0)
+
+    def test_col_bias_concentrates(self):
+        degrees = np.full(200, 20)
+        mild = degree_sequence_matrix(degrees, 2000, seed=7, col_bias=1.0)
+        hard = degree_sequence_matrix(degrees, 2000, seed=7, col_bias=4.0)
+        g_mild = degree_stats(mild.to_csc().col_nnz()).gini
+        g_hard = degree_stats(hard.to_csc().col_nnz()).gini
+        assert g_hard > g_mild
+
+
+class TestPowerLaw:
+    def test_nnz_accuracy(self):
+        m = power_law(2000, 30_000, seed=8)
+        assert abs(m.nnz - 30_000) < 0.03 * 30_000
+
+    def test_skewed(self):
+        m = power_law(2000, 30_000, seed=9)
+        assert degree_stats(m.to_csr().row_nnz()).skewed
+
+    def test_alpha_controls_concentration(self):
+        # Larger alpha = steeper Zipf decay = more of the mass on the top
+        # ranks (with the cap disabled).
+        flat = power_law(1500, 15_000, seed=10, alpha=1.1, max_degree_fraction=1.0)
+        steep = power_law(1500, 15_000, seed=10, alpha=2.5, max_degree_fraction=1.0)
+        assert (
+            degree_stats(steep.to_csr().row_nnz()).top1_share
+            > degree_stats(flat.to_csr().row_nnz()).top1_share
+        )
+
+    def test_degree_cap_respected(self):
+        m = power_law(1000, 20_000, seed=11, max_degree_fraction=0.05)
+        assert m.to_csr().row_nnz().max() <= 50
+
+    def test_invalid_nnz(self):
+        with pytest.raises(DatasetError, match="positive"):
+            power_law(10, 0, seed=0)
+
+    def test_capacity(self):
+        with pytest.raises(DatasetError, match="capacity"):
+            power_law(3, 100, seed=0)
+
+    def test_deterministic(self):
+        assert power_law(500, 4000, seed=12).allclose(power_law(500, 4000, seed=12))

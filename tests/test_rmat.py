@@ -1,0 +1,105 @@
+"""R-MAT generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.sparse.rmat import RMATParams, UNIFORM, rmat, rmat_general, rmat_graph500
+from repro.sparse.stats import degree_stats
+
+
+class TestParams:
+    def test_must_sum_to_one(self):
+        with pytest.raises(DatasetError, match="sum to 1"):
+            RMATParams(0.5, 0.5, 0.5, 0.5)
+
+    def test_non_negative(self):
+        with pytest.raises(DatasetError, match="non-negative"):
+            RMATParams(1.3, -0.1, -0.1, -0.1)
+
+    def test_skew_measure(self):
+        assert UNIFORM.skew == pytest.approx(0.0)
+        assert RMATParams(0.57, 0.19, 0.19, 0.05).skew > 0.3
+
+
+class TestRmat:
+    def test_shape(self):
+        m = rmat(8, 1000, UNIFORM, seed=1)
+        assert m.shape == (256, 256)
+        m.validate()
+
+    def test_deterministic(self):
+        a = rmat(8, 500, UNIFORM, seed=3)
+        b = rmat(8, 500, UNIFORM, seed=3)
+        assert a.allclose(b)
+
+    def test_seed_changes_output(self):
+        a = rmat(8, 500, UNIFORM, seed=3)
+        b = rmat(8, 500, UNIFORM, seed=4)
+        assert not a.allclose(b)
+
+    def test_dedup_reduces_nnz(self):
+        raw = rmat(6, 2000, UNIFORM, seed=5, deduplicate=False)
+        dedup = rmat(6, 2000, UNIFORM, seed=5, deduplicate=True)
+        assert raw.nnz == 2000
+        assert dedup.nnz < raw.nnz
+
+    def test_skewed_params_make_skewed_degrees(self):
+        uniform = rmat(11, 30_000, UNIFORM, seed=6)
+        skewed = rmat(11, 30_000, RMATParams(0.57, 0.19, 0.19, 0.05), seed=6)
+        g_u = degree_stats(uniform.to_csr().row_nnz()).gini
+        g_s = degree_stats(skewed.to_csr().row_nnz()).gini
+        assert g_s > g_u + 0.15
+
+    def test_ones_values(self):
+        m = rmat(6, 200, UNIFORM, seed=7, values="ones", deduplicate=False)
+        assert np.all(m.vals == 1.0)
+
+    def test_bad_values_mode(self):
+        with pytest.raises(DatasetError, match="values"):
+            rmat(6, 10, UNIFORM, seed=0, values="bogus")
+
+    def test_bad_scale(self):
+        with pytest.raises(DatasetError, match="scale"):
+            rmat(0, 10, UNIFORM, seed=0)
+
+    def test_negative_edges(self):
+        with pytest.raises(DatasetError, match="n_edges"):
+            rmat(4, -1, UNIFORM, seed=0)
+
+
+class TestRmatGeneral:
+    def test_non_power_of_two_dimension(self):
+        m = rmat_general(1000, 5000, UNIFORM, seed=9)
+        assert m.shape == (1000, 1000)
+        m.validate()
+        assert m.rows.max() < 1000 and m.cols.max() < 1000
+
+    def test_edge_count_close_to_request(self):
+        m = rmat_general(1000, 5000, UNIFORM, seed=10)
+        assert abs(m.nnz - 5000) <= 0.02 * 5000
+
+    def test_exact_trim(self):
+        m = rmat_general(500, 2000, UNIFORM, seed=11)
+        assert m.nnz <= 2000
+
+    def test_capacity_check(self):
+        with pytest.raises(DatasetError, match="capacity"):
+            rmat_general(3, 100, UNIFORM, seed=0)
+
+    def test_deterministic(self):
+        a = rmat_general(700, 3000, UNIFORM, seed=12)
+        b = rmat_general(700, 3000, UNIFORM, seed=12)
+        assert a.allclose(b)
+
+
+class TestGraph500:
+    def test_sizes(self):
+        m = rmat_graph500(10, 4, seed=13)
+        assert m.shape == (1024, 1024)
+        # Deduplication loses some of the 4096 draws but not most.
+        assert 2000 < m.nnz <= 4096
+
+    def test_is_skewed(self):
+        m = rmat_graph500(11, 8, seed=14)
+        assert degree_stats(m.to_csr().row_nnz()).skewed

@@ -1,0 +1,94 @@
+"""List-scheduler tests: work conservation, bounds, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.scheduler import list_schedule
+
+
+class TestBasics:
+    def test_empty(self):
+        r = list_schedule(np.zeros(0), n_sms=4, residency=2)
+        assert r.makespan == 0.0
+        assert np.all(r.sm_busy == 0)
+
+    def test_single_block(self):
+        r = list_schedule(np.array([100.0]), n_sms=4, residency=2)
+        assert r.makespan == 100.0
+        assert r.sm_busy.sum() == 100.0
+
+    def test_invalid_params(self):
+        with pytest.raises(SimulationError):
+            list_schedule(np.array([1.0]), n_sms=0, residency=1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError, match="negative"):
+            list_schedule(np.array([-1.0]), n_sms=1, residency=1)
+
+
+class TestWorkConservation:
+    def test_busy_equals_total_work(self, rng):
+        d = rng.random(500) * 100
+        r = list_schedule(d, n_sms=8, residency=4)
+        assert r.sm_busy.sum() == pytest.approx(d.sum())
+
+    def test_fewer_blocks_than_slots(self, rng):
+        d = rng.random(10) * 100
+        r = list_schedule(d, n_sms=8, residency=4)
+        assert r.makespan == pytest.approx(d.max())
+        assert r.sm_busy.sum() == pytest.approx(d.sum())
+
+
+class TestBounds:
+    def test_makespan_lower_bounds(self, rng):
+        d = rng.random(300) * 50 + 1
+        n_sms, res = 6, 4
+        r = list_schedule(d, n_sms, res)
+        assert r.makespan >= d.max() - 1e-9
+        assert r.makespan >= d.sum() / (n_sms * res) - 1e-9
+
+    def test_greedy_two_approximation(self, rng):
+        d = rng.random(300) * 50 + 1
+        n_sms, res = 6, 4
+        r = list_schedule(d, n_sms, res)
+        lower = max(d.max(), d.sum() / (n_sms * res))
+        assert r.makespan <= 2.0 * lower
+
+    def test_straggler_dominates(self):
+        d = np.concatenate([np.full(100, 1.0), [1000.0]])
+        r = list_schedule(d, n_sms=4, residency=2)
+        assert r.makespan >= 1000.0
+
+    def test_finish_ge_busy_share(self, rng):
+        d = rng.random(200) * 10
+        r = list_schedule(d, n_sms=4, residency=4)
+        # Per-SM finish time is at least its busy time divided by residency.
+        assert np.all(r.sm_finish >= r.sm_busy / 4 - 1e-9)
+
+
+class TestDeterminism:
+    def test_same_input_same_output(self, rng):
+        d = rng.random(200)
+        a = list_schedule(d, 8, 2)
+        b = list_schedule(d, 8, 2)
+        assert a.makespan == b.makespan
+        assert np.array_equal(a.sm_busy, b.sm_busy)
+
+    def test_more_slots_never_slower(self, rng):
+        d = rng.random(400) * 20
+        slow = list_schedule(d, 4, 2).makespan
+        fast = list_schedule(d, 8, 4).makespan
+        assert fast <= slow + 1e-9
+
+
+class TestSkewVisibility:
+    def test_balanced_load_high_lbi(self):
+        d = np.full(960, 10.0)
+        r = list_schedule(d, 30, 8)
+        assert r.sm_busy.mean() / r.sm_busy.max() > 0.95
+
+    def test_skewed_load_low_lbi(self):
+        d = np.concatenate([np.full(50, 1.0), [5000.0]])
+        r = list_schedule(d, 30, 8)
+        assert r.sm_busy.mean() / r.sm_busy.max() < 0.3

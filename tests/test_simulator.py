@@ -1,0 +1,170 @@
+"""Simulator tests: mechanisms the paper's techniques rely on must emerge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.gpusim.block import BlockArrayBuilder
+from repro.gpusim.config import TESLA_V100, TITAN_XP
+from repro.gpusim.costs import DEFAULT_COSTS
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.trace import KernelPhase, KernelTrace
+
+
+def _uniform_blocks(n, *, threads=256, eff=None, iters=10.0, ops=None,
+                    smem=2048, ws=2000.0, trans=None):
+    eff = threads if eff is None else eff
+    ops = int(iters * eff) if ops is None else ops
+    b = BlockArrayBuilder()
+    b.add_blocks(
+        threads=threads,
+        effective_threads=np.full(n, eff),
+        iters=np.full(n, iters),
+        ops=np.full(n, ops),
+        unique_bytes=np.full(n, 600.0),
+        reuse_bytes=np.full(n, 300.0),
+        write_bytes=np.full(n, 1200.0),
+        smem_bytes=smem,
+        working_set=np.full(n, ws),
+        transactions=np.full(n, trans if trans is not None else iters),
+    )
+    return b.build()
+
+
+def _run(blocks, stage="expansion", gpu=TITAN_XP):
+    sim = GPUSimulator(gpu)
+    return sim.run(KernelTrace("t", [KernelPhase("p", stage, blocks)]))
+
+
+class TestBasics:
+    def test_empty_phase(self):
+        stats = _run(BlockArrayBuilder().build())
+        assert stats.phases[0].n_blocks == 0
+        assert stats.kernel_cycles == DEFAULT_COSTS.kernel_launch_cycles
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(SimulationError, match="stage"):
+            GPUSimulator(TITAN_XP).block_durations("bogus", _uniform_blocks(1))
+
+    def test_deterministic(self):
+        blocks = _uniform_blocks(100)
+        a = _run(blocks)
+        b = _run(blocks)
+        assert a.kernel_cycles == b.kernel_cycles
+
+    def test_durations_positive(self):
+        d = GPUSimulator(TITAN_XP).block_durations("expansion", _uniform_blocks(10))
+        assert np.all(d > 0)
+
+    def test_total_ops_accounted(self):
+        stats = _run(_uniform_blocks(10, ops=77))
+        assert stats.total_ops == 770
+
+    def test_meta_passthrough(self):
+        sim = GPUSimulator(TITAN_XP)
+        stats = sim.run(KernelTrace("t", [], meta={"x": 1}))
+        assert stats.meta == {"x": 1}
+
+
+class TestMechanisms:
+    def test_more_work_takes_longer(self):
+        fast = _run(_uniform_blocks(50, iters=5.0)).kernel_cycles
+        slow = _run(_uniform_blocks(50, iters=50.0)).kernel_cycles
+        assert slow > fast
+
+    def test_more_blocks_take_longer(self):
+        few = _run(_uniform_blocks(100)).kernel_cycles
+        many = _run(_uniform_blocks(1000)).kernel_cycles
+        assert many > few
+
+    def test_more_sms_faster(self):
+        blocks = _uniform_blocks(2000)
+        small_gpu = _run(blocks, gpu=TITAN_XP).kernel_seconds
+        big_gpu = _run(blocks, gpu=TESLA_V100).kernel_seconds
+        assert big_gpu < small_gpu
+
+    def test_straggler_lowers_lbi(self):
+        balanced = _uniform_blocks(960)
+        b = BlockArrayBuilder()
+        b.add_blocks(
+            threads=256, effective_threads=np.array([256]),
+            iters=np.array([50_000.0]), ops=np.array([1_000_000]),
+            unique_bytes=np.array([1e6]), reuse_bytes=np.array([0.0]),
+            write_bytes=np.array([1e7]), working_set=np.array([1e6]),
+            transactions=np.array([300_000.0]),
+        )
+        from repro.gpusim.block import concatenate
+
+        skewed = concatenate([balanced, b.build()])
+        assert _run(skewed).lbi("expansion") < _run(balanced).lbi("expansion")
+
+    def test_underloaded_blocks_less_efficient(self):
+        """Same useful ops: full 32-lane warps beat 2-effective-lane warps."""
+        full = _uniform_blocks(64, threads=32, eff=32, iters=10.0, ops=320)
+        under = _uniform_blocks(64 * 16, threads=32, eff=2, iters=10.0, ops=20)
+        t_full = _run(full).kernel_cycles
+        t_under = _run(under).kernel_cycles
+        assert t_under > 1.3 * t_full
+
+    def test_fixed_256_worse_than_sized_for_tiny_work(self):
+        """The paper's fixed-block-size waste: same micro-work, fixed 256-thread
+        allocation loses to 32-thread compacted blocks."""
+        fixed = _uniform_blocks(2000, threads=256, eff=5, iters=4.0, ops=20)
+        sized = _uniform_blocks(2000, threads=32, eff=5, iters=4.0, ops=20)
+        assert _run(fixed).kernel_cycles > _run(sized).kernel_cycles
+
+    def test_sync_stalls_reflect_lane_waste(self):
+        full = _run(_uniform_blocks(50, threads=32, eff=32, iters=4.0, ops=128 * 4 // 4 * 32))
+        under = _run(_uniform_blocks(50, threads=32, eff=2, iters=4.0, ops=8))
+        assert under.sync_stall_pct > full.sync_stall_pct
+
+    def test_big_smem_reduces_residency_and_parallelism(self):
+        light = _uniform_blocks(960, smem=2048)
+        heavy = _uniform_blocks(960, smem=48 * 1024)
+        sim = GPUSimulator(TITAN_XP)
+        assert sim.residency(heavy)[0] < sim.residency(light)[0]
+
+    def test_chip_bandwidth_floor(self):
+        """A phase can never finish faster than its traffic divided by peak
+        achievable DRAM bandwidth."""
+        blocks = _uniform_blocks(5000)
+        stats = _run(blocks)
+        dram = stats.phases[0].dram_bytes
+        floor = dram / TITAN_XP.bytes_per_cycle_dram()
+        assert stats.phases[0].makespan_cycles >= floor
+
+    def test_instr_override_scales_compute(self):
+        blocks = _uniform_blocks(100, iters=1000.0, trans=1.0)
+        sim = GPUSimulator(TITAN_XP)
+        cheap = sim.block_durations("merge", blocks, instr_override=1.0)
+        costly = sim.block_durations("merge", blocks, instr_override=50.0)
+        assert np.all(costly >= cheap)
+        assert costly[0] > cheap[0]
+
+
+class TestStats:
+    def test_stage_accounting(self):
+        exp = _uniform_blocks(100)
+        mrg = _uniform_blocks(50)
+        sim = GPUSimulator(TITAN_XP)
+        stats = sim.run(
+            KernelTrace("t", [KernelPhase("e", "expansion", exp), KernelPhase("m", "merge", mrg)])
+        )
+        assert stats.stage_cycles("expansion") > 0
+        assert stats.stage_cycles("merge") > 0
+        assert stats.kernel_cycles == pytest.approx(
+            stats.stage_cycles("expansion") + stats.stage_cycles("merge")
+        )
+
+    def test_host_seconds_added(self):
+        sim = GPUSimulator(TITAN_XP)
+        stats = sim.run(KernelTrace("t", [], host_seconds=0.5))
+        assert stats.total_seconds >= 0.5
+
+    def test_gflops_positive(self):
+        stats = _run(_uniform_blocks(100))
+        assert stats.gflops > 0
+
+    def test_sm_utilization_bounds(self):
+        stats = _run(_uniform_blocks(500))
+        assert 0.0 < stats.sm_utilization() <= 1.0

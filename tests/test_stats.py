@@ -1,0 +1,72 @@
+"""Tests for degree statistics and skewness diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.stats import DegreeStats, degree_stats, gini, is_skewed, top_share
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 7.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_concentrated_near_one(self):
+        values = np.zeros(1000)
+        values[0] = 1000.0
+        assert gini(values) > 0.99
+
+    def test_empty(self):
+        assert gini(np.zeros(0)) == 0.0
+
+    def test_all_zero(self):
+        assert gini(np.zeros(10)) == 0.0
+
+    def test_invariant_to_scaling(self, rng):
+        v = rng.random(200)
+        assert gini(v) == pytest.approx(gini(v * 42.0))
+
+    def test_known_value_two_point(self):
+        # one holder of everything among two -> gini = 1/2 for n=2.
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share(np.ones(100), 0.01) == pytest.approx(0.01)
+
+    def test_single_hub(self):
+        v = np.ones(100)
+        v[0] = 100.0
+        assert top_share(v, 0.01) == pytest.approx(100.0 / 199.0)
+
+    def test_empty(self):
+        assert top_share(np.zeros(0)) == 0.0
+
+
+class TestDegreeStats:
+    def test_fields(self):
+        st = degree_stats(np.array([0, 1, 2, 3, 4]))
+        assert st.n == 5
+        assert st.nnz == 10
+        assert st.mean == pytest.approx(2.0)
+        assert st.max == 4
+        assert st.zero_fraction == pytest.approx(0.2)
+
+    def test_regular_not_skewed(self, regular_csr):
+        assert not degree_stats(regular_csr.row_nnz()).skewed
+
+    def test_power_law_skewed(self, skewed_csr):
+        assert degree_stats(skewed_csr.row_nnz()).skewed
+
+    def test_empty_degrees(self):
+        st = degree_stats(np.zeros(0, dtype=np.int64))
+        assert st.n == 0 and st.nnz == 0 and st.max == 0
+
+    def test_is_skewed_wrappers(self, regular_csr, skewed_csr):
+        assert is_skewed(skewed_csr)
+        assert not is_skewed(regular_csr)
+
+    def test_frozen(self):
+        st = degree_stats(np.array([1, 2]))
+        with pytest.raises(AttributeError):
+            st.n = 7

@@ -1,0 +1,137 @@
+"""Tests for the shared trace builders."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.costs import DEFAULT_COSTS
+from repro.spgemm.traceutil import (
+    ceil_div,
+    entry_chunk_blocks,
+    group_by_budget,
+    merge_blocks,
+    outer_pair_blocks,
+    round_up_warp,
+)
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert np.array_equal(ceil_div(np.array([1, 32, 33]), 32), [1, 1, 2])
+
+    def test_round_up_warp(self):
+        assert round_up_warp(1) == 32
+        assert round_up_warp(32) == 32
+        assert round_up_warp(33) == 64
+
+    def test_group_by_budget(self):
+        groups = group_by_budget(np.array([10, 10, 10, 10]), budget=20)
+        assert groups[0] == groups[1]
+        assert groups[2] == groups[3]
+        assert groups[1] != groups[2]
+
+    def test_group_by_budget_large_item_own_group(self):
+        groups = group_by_budget(np.array([100, 1, 1]), budget=10)
+        assert groups[0] != groups[1]
+
+    def test_group_by_budget_empty(self):
+        assert len(group_by_budget(np.zeros(0, np.int64), 10)) == 0
+
+
+class TestOuterPairBlocks:
+    def test_ops_and_iters(self):
+        blocks = outer_pair_blocks(np.array([10]), np.array([20]), DEFAULT_COSTS)
+        assert blocks.ops[0] == 200
+        assert blocks.iters[0] == 10.0
+        assert blocks.effective_threads[0] == 20
+        assert blocks.threads[0] == 32  # warp-rounded
+
+    def test_fixed_threads(self):
+        blocks = outer_pair_blocks(
+            np.array([10, 10]), np.array([3, 500]), DEFAULT_COSTS, fixed_threads=256
+        )
+        assert np.all(blocks.threads == 256)
+        assert blocks.effective_threads[0] == 3
+        assert blocks.effective_threads[1] == 256
+
+    def test_wide_rows_coarsen(self):
+        blocks = outer_pair_blocks(
+            np.array([10]), np.array([1000]), DEFAULT_COSTS, max_threads=256
+        )
+        # 1000 columns over 256 threads -> 4 iterations per a-element.
+        assert blocks.iters[0] == 40.0
+
+    def test_shared_b_moves_traffic_to_reuse(self):
+        plain = outer_pair_blocks(np.array([16]), np.array([64]), DEFAULT_COSTS)
+        shared = outer_pair_blocks(
+            np.array([16]), np.array([64]), DEFAULT_COSTS, shared_b_fraction=0.75
+        )
+        assert shared.unique_bytes[0] < plain.unique_bytes[0]
+        assert shared.reuse_bytes[0] > plain.reuse_bytes[0]
+        total_p = plain.unique_bytes[0] + plain.reuse_bytes[0]
+        total_s = shared.unique_bytes[0] + shared.reuse_bytes[0]
+        assert total_p == pytest.approx(total_s)
+
+    def test_empty(self):
+        assert len(outer_pair_blocks(np.zeros(0), np.zeros(0), DEFAULT_COSTS)) == 0
+
+
+class TestEntryChunkBlocks:
+    def test_imbalance_visible_in_iters(self):
+        work = np.concatenate([np.full(127, 2), [1000]])
+        blocks = entry_chunk_blocks(work, DEFAULT_COSTS, threads=128)
+        assert len(blocks) == 1
+        assert blocks.iters[0] >= 1000  # critical path = heaviest thread
+        assert blocks.ops[0] == 127 * 2 + 1000
+
+    def test_chunking(self):
+        blocks = entry_chunk_blocks(np.full(300, 5), DEFAULT_COSTS, threads=128)
+        assert len(blocks) == 3
+
+    def test_zero_work_blocks_dropped(self):
+        blocks = entry_chunk_blocks(np.zeros(256, np.int64), DEFAULT_COSTS, threads=128)
+        assert len(blocks) == 0
+
+    def test_empty(self):
+        assert len(entry_chunk_blocks(np.zeros(0, np.int64), DEFAULT_COSTS)) == 0
+
+
+class TestMergeBlocks:
+    def test_heavy_row_gets_own_block(self):
+        work = np.array([100, 10_000, 50])
+        u = np.array([80, 5_000, 40])
+        blocks = merge_blocks(work, u, DEFAULT_COSTS, chunk_target=4096)
+        assert len(blocks) == 2  # heavy block + one packed light block
+        assert blocks.ops.sum() == work.sum()
+
+    def test_collisions_accounted(self):
+        work = np.array([10_000])
+        u = np.array([6_000])
+        blocks = merge_blocks(work, u, DEFAULT_COSTS, chunk_target=4096)
+        assert blocks.collisions[0] == 4_000
+        assert blocks.atomics[0] == 10_000
+
+    def test_row_mask_restricts(self):
+        work = np.array([5_000, 6_000, 7_000])
+        u = work // 2
+        mask = np.array([True, False, True])
+        blocks = merge_blocks(work, u, DEFAULT_COSTS, row_mask=mask, chunk_target=4096)
+        assert blocks.ops.sum() == 12_000
+
+    def test_row_form_cheaper_transactions(self):
+        work = np.array([10_000])
+        u = np.array([8_000])
+        matrix = merge_blocks(work, u, DEFAULT_COSTS, row_form=False, chunk_target=4096)
+        row = merge_blocks(work, u, DEFAULT_COSTS, row_form=True, chunk_target=4096)
+        assert row.transactions[0] < matrix.transactions[0]
+
+    def test_smem_passthrough(self):
+        work = np.array([10_000])
+        u = np.array([8_000])
+        blocks = merge_blocks(work, u, DEFAULT_COSTS, smem_bytes=30_000, chunk_target=4096)
+        assert blocks.smem_bytes[0] == 30_000
+
+    def test_all_empty_rows(self):
+        blocks = merge_blocks(np.zeros(5, np.int64), np.zeros(5, np.int64), DEFAULT_COSTS)
+        assert len(blocks) == 0

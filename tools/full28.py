@@ -1,0 +1,35 @@
+import sys, numpy as np, time
+from repro.datasets import FLORIDA_NAMES, STANFORD_NAMES, load
+from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
+from repro.core import BlockReorganizer, ReorganizerOptions
+from repro.gpusim import GPUSimulator, TITAN_XP, CostModel
+
+import dataclasses
+overrides, cfg_overrides = {}, {}
+for kv in sys.argv[1:]:
+    k, v = kv.split('=')
+    if k.startswith('cfg.'):
+        cfg_overrides[k[4:]] = float(v)
+    else:
+        overrides[k] = float(v)
+costs = CostModel().with_overrides(**overrides)
+gpu = dataclasses.replace(TITAN_XP, **cfg_overrides) if cfg_overrides else TITAN_XP
+sim = GPUSimulator(gpu, costs)
+algos = {
+    'row': RowProductSpGEMM(costs), 'outer': OuterProductSpGEMM(costs), 'BR': BlockReorganizer(costs),
+    'Split': BlockReorganizer(costs, options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)),
+    'Gather': BlockReorganizer(costs, options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)),
+    'Limit': BlockReorganizer(costs, options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)),
+}
+speed = {k: [] for k in algos}; gfs = {}
+t0 = time.time()
+for name in FLORIDA_NAMES + STANFORD_NAMES:
+    ds = load(name); ctx = MultiplyContext.build(ds.a, ds.b, a_csc=ds.a_csc); ctx.c_row_nnz
+    r = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
+    for k in algos: speed[k].append(r['row']/r[k])
+    gfs[name] = 2*ctx.total_work/r['row']/1e9
+    print(f"{name:16s} rowGF={gfs[name]:5.2f} outer={r['row']/r['outer']:5.2f} BR={r['row']/r['BR']:5.2f} | vsO: S={r['outer']/r['Split']:5.2f} G={r['outer']/r['Gather']:5.2f} L={r['outer']/r['Limit']:5.2f}")
+g = lambda k: np.exp(np.mean(np.log(speed[k])))
+go = lambda k: np.exp(np.mean(np.log(np.array(speed[k])/np.array(speed['outer']))))
+print(f"GEOMEAN(28): outer={g('outer'):.3f} BR={g('BR'):.3f} | vsOuter: Split={go('Split'):.3f} Gather={go('Gather'):.3f} Limit={go('Limit'):.3f} BR={go('BR'):.3f}  [{time.time()-t0:.0f}s]")
+print(f"paper:       outer=0.95  BR=1.43  | vsOuter: Split=1.05  Gather=1.28  Limit=1.05  BR=1.51")

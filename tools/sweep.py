@@ -1,0 +1,25 @@
+import numpy as np
+from repro.datasets import load
+from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
+from repro.core import BlockReorganizer, ReorganizerOptions
+from repro.gpusim import GPUSimulator, TITAN_XP
+
+sim = GPUSimulator(TITAN_XP)
+names = ['filter3d','harbor','2cube_sphere','mario002','offshore','youtube','as_caida','loc_gowalla','slashdot','web_notredame']
+algos = {
+    'row': RowProductSpGEMM(), 'outer': OuterProductSpGEMM(), 'BR': BlockReorganizer(),
+    'Split': BlockReorganizer(options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)),
+    'Gather': BlockReorganizer(options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)),
+    'Limit': BlockReorganizer(options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)),
+}
+rows_speed = {k: [] for k in algos}
+print(f"{'dataset':14s} {'rowGF':>6s} | vs-row: outer BR | vs-outer: Split Gather Limit BR")
+for name in names:
+    ds = load(name); ctx = MultiplyContext.build(ds.a, ds.b, a_csc=ds.a_csc); ctx.c_row_nnz
+    r = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
+    for k in algos: rows_speed[k].append(r['row']/r[k])
+    print(f"{name:14s} {2*ctx.total_work/r['row']/1e9:6.2f} | {r['row']/r['outer']:5.2f} {r['row']/r['BR']:5.2f} |"
+          f" {r['outer']/r['Split']:6.2f} {r['outer']/r['Gather']:6.2f} {r['outer']/r['Limit']:6.2f} {r['outer']/r['BR']:5.2f}")
+g = lambda k: np.exp(np.mean(np.log(rows_speed[k])))
+go = lambda k: np.exp(np.mean(np.log(np.array(rows_speed[k])/np.array(rows_speed['outer']))))
+print(f"{'GEOMEAN':14s} {'':6s} | {g('outer'):5.2f} {g('BR'):5.2f} | {go('Split'):6.2f} {go('Gather'):6.2f} {go('Limit'):6.2f} {go('BR'):5.2f}")
