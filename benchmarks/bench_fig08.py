@@ -1,7 +1,6 @@
 """Bench regenerating Figure 8 (normalized speedup, 28 real-world sets)."""
 
 from repro.bench.experiments import fig08_speedup
-from repro.bench.tables import geomean
 
 
 def test_fig08_speedup(run_experiment):

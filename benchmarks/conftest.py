@@ -4,11 +4,38 @@ Each bench regenerates one table/figure of the paper: it times the experiment
 via pytest-benchmark (one round — these are deterministic simulations, not
 noisy microbenchmarks) and prints the paper-style table so the numbers land
 in the bench log.
+
+The whole suite routes through the shared runner's execution engine: a
+session fixture points every ``run_matrix`` call at the persistent result
+cache (so a second ``pytest benchmarks/`` run replays finished cells instead
+of re-simulating them) and honours three environment knobs:
+
+* ``REPRO_BENCH_WORKERS`` — process-pool width for the grid (default 1).
+* ``REPRO_BENCH_NO_CACHE=1`` — disable the persistent cache.
+* ``REPRO_CACHE_DIR`` — cache location (default ``~/.cache/repro``).
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+from repro.bench import runner
+from repro.bench.cache import ResultCache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def shared_runner_defaults():
+    """Route every bench through the shared runner's cache and worker pool."""
+    cache = None
+    if not os.environ.get("REPRO_BENCH_NO_CACHE"):
+        cache = ResultCache(os.environ.get("REPRO_CACHE_DIR"))
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
+    runner.configure(workers=workers, cache=cache)
+    yield
+    runner.configure(workers=saved_workers, cache=saved_cache)
 
 
 @pytest.fixture

@@ -1,9 +1,13 @@
-"""Bench harness: runner, tables and per-figure experiment modules."""
+"""Bench harness: runner, result cache, parallel engine and experiments."""
 
+from repro.bench.cache import ResultCache, default_cache_dir
+from repro.bench.fingerprint import SCHEMA_VERSION, cell_key, context_key
+from repro.bench.parallel import default_workers
 from repro.bench.runner import (
     BenchResult,
     ablation_algorithms,
     clear_context_cache,
+    configure,
     get_context,
     paper_algorithms,
     run_matrix,
@@ -12,8 +16,15 @@ from repro.bench.tables import format_table, geomean
 
 __all__ = [
     "BenchResult",
+    "ResultCache",
+    "SCHEMA_VERSION",
     "ablation_algorithms",
+    "cell_key",
     "clear_context_cache",
+    "configure",
+    "context_key",
+    "default_cache_dir",
+    "default_workers",
     "get_context",
     "paper_algorithms",
     "run_matrix",

@@ -1,0 +1,237 @@
+"""Persistent, content-addressed cache for bench results.
+
+Every bench cell is a deterministic simulation, so its
+:class:`~repro.bench.runner.BenchResult` can be stored on disk keyed by the
+fingerprint of its inputs (see :mod:`repro.bench.fingerprint`) and replayed
+on any later run — ``tools/full28.py`` or a ``benchmarks/bench_fig*.py``
+rerun only pays for cells whose inputs actually changed.
+
+Design points:
+
+* **Layout** — one JSON file per cell under ``~/.cache/repro`` (override with
+  the ``REPRO_CACHE_DIR`` environment variable or an explicit ``cache_dir``),
+  sharded into 256 two-hex-digit subdirectories to keep directories small.
+* **Lossless payloads** — the whole :class:`KernelStats` round-trips,
+  per-phase counters and per-SM cycle arrays included, so a cached
+  :class:`BenchResult` is byte-identical (in serialised form) to a freshly
+  simulated one.
+* **Invalidation** — a ``schema`` stamp in both the key and the payload; a
+  mismatch is a miss, never an error.
+* **Corruption recovery** — unreadable, truncated or malformed entries are
+  treated as misses and deleted best-effort; a broken cache can only cost
+  time, not correctness.
+* **Atomic writes** — entries are written to a temp file and ``os.replace``d
+  into place, so concurrent writers (the parallel runner, two CLI runs)
+  cannot tear each other's files.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.bench.fingerprint import SCHEMA_VERSION
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.stats import KernelStats, PhaseStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.bench.runner import BenchResult
+
+__all__ = [
+    "ResultCache",
+    "default_cache_dir",
+    "result_to_dict",
+    "result_from_dict",
+    "stats_roundtrip_dict",
+]
+
+_ARRAY_FIELDS = ("sm_busy_cycles", "sm_finish_cycles")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+def _jsonify(value):
+    """Reduce numpy scalars/arrays to plain Python for JSON encoding."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def _phase_to_dict(phase: PhaseStats) -> dict:
+    out = {}
+    for f in dataclasses.fields(PhaseStats):
+        out[f.name] = _jsonify(getattr(phase, f.name))
+    return out
+
+
+def _phase_from_dict(d: dict) -> PhaseStats:
+    kwargs = dict(d)
+    for name in _ARRAY_FIELDS:
+        kwargs[name] = np.asarray(kwargs[name], dtype=np.float64)
+    return PhaseStats(**kwargs)
+
+
+def stats_roundtrip_dict(stats: KernelStats) -> dict:
+    """Lossless dict form of :class:`KernelStats` (cf. the *reporting* dict in
+    :mod:`repro.gpusim.export`, which flattens to derived metrics)."""
+    return {
+        "algorithm": stats.algorithm,
+        "config": dataclasses.asdict(stats.config),
+        "host_seconds": stats.host_seconds,
+        "device_setup_cycles": stats.device_setup_cycles,
+        "meta": _jsonify(stats.meta),
+        "phases": [_phase_to_dict(p) for p in stats.phases],
+    }
+
+
+def _stats_from_dict(d: dict) -> KernelStats:
+    return KernelStats(
+        algorithm=d["algorithm"],
+        config=GPUConfig(**d["config"]),
+        phases=[_phase_from_dict(p) for p in d["phases"]],
+        host_seconds=d["host_seconds"],
+        device_setup_cycles=d["device_setup_cycles"],
+        meta=dict(d["meta"]),
+    )
+
+
+def result_to_dict(result: "BenchResult") -> dict:
+    """Serialise one bench cell losslessly (inverse of :func:`result_from_dict`)."""
+    return {
+        "dataset": result.dataset,
+        "algorithm": result.algorithm,
+        "gpu": result.gpu,
+        "seconds": result.seconds,
+        "gflops": result.gflops,
+        "stats": stats_roundtrip_dict(result.stats),
+    }
+
+
+def result_from_dict(d: dict) -> "BenchResult":
+    from repro.bench.runner import BenchResult
+
+    return BenchResult(
+        dataset=d["dataset"],
+        algorithm=d["algorithm"],
+        gpu=d["gpu"],
+        seconds=d["seconds"],
+        gflops=d["gflops"],
+        stats=_stats_from_dict(d["stats"]),
+    )
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`BenchResult` payloads.
+
+    ``get``/``put`` never raise on cache trouble: a damaged entry reads as a
+    miss (and is deleted best-effort), a failed write is dropped.  Hit/miss
+    counters make behaviour observable in benches and tests.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.write_errors = 0
+
+    def path_for(self, key: str) -> Path:
+        """Sharded location of a cache entry (keys are sha256 hex digests)."""
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> "BenchResult | None":
+        """Return the cached result for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, UnicodeDecodeError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != SCHEMA_VERSION:
+            self._evict(path)
+            self.misses += 1
+            return None
+        try:
+            result = result_from_dict(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: "BenchResult") -> None:
+        """Atomically persist ``result`` under ``key`` (best-effort)."""
+        path = self.path_for(key)
+        payload = {"schema": SCHEMA_VERSION, "key": key, "result": result_to_dict(result)}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, TypeError, ValueError):
+            self.write_errors += 1
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry under this cache's directory; returns the count."""
+        removed = 0
+        if not self.cache_dir.exists():
+            return removed
+        for path in self.cache_dir.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.cache_dir.exists():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<ResultCache dir={str(self.cache_dir)!r} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

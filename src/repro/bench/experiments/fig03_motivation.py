@@ -95,7 +95,11 @@ def format_result(rows: list[Fig03Row]) -> str:
         lo = r.sm_times_sorted[-1]
         ratio = float(r.sm_times_sorted[0] / lo) if lo > 0 else float("inf")
         a_rows.append([r.dataset, r.sm_utilization, r.lbi, ratio])
-    parts.append(format_table(headers, a_rows, title="Fig 3(a): SM-level imbalance of outer-product expansion"))
+    parts.append(
+        format_table(
+            headers, a_rows, title="Fig 3(a): SM-level imbalance of outer-product expansion"
+        )
+    )
 
     bin_labels = ["=1", "2", "3-4", "5-8", "9-16", "17-32", ">32"]
     b_rows = [[r.dataset] + [float(f * 100) for f in r.thread_bin_fractions] for r in rows]

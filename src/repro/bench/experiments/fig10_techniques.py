@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.runner import ablation_algorithms, get_context, run_matrix
+from repro.bench.runner import ablation_algorithms, get_context
 from repro.bench.tables import format_table, geomean
 from repro.bench.experiments.table2_datasets import ALL_REAL_WORLD
 from repro.gpusim.config import GPUConfig, TITAN_XP

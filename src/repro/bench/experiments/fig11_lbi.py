@@ -88,8 +88,18 @@ def format_result(result: Fig11Result) -> str:
     headers = ["dataset"] + [f"x{f}" for f in FACTORS]
     return "\n".join(
         [
-            format_table(headers, lbi_rows, title="Fig 11: dominator-phase LBI vs splitting factor", col_width=7),
-            format_table(headers, sp_rows, title="\nFig 11: dominator speedup vs splitting factor (factor 1 = 1.0)", col_width=7),
+            format_table(
+                headers,
+                lbi_rows,
+                title="Fig 11: dominator-phase LBI vs splitting factor",
+                col_width=7,
+            ),
+            format_table(
+                headers,
+                sp_rows,
+                title="\nFig 11: dominator speedup vs splitting factor (factor 1 = 1.0)",
+                col_width=7,
+            ),
         ]
     )
 

@@ -15,7 +15,8 @@ __all__ = ["run", "format_result", "main"]
 def run() -> list[dict]:
     """Collect the rows of Table I."""
     rows = []
-    for label, (cpu, gpu) in (("System 1", SYSTEM_1), ("System 2", SYSTEM_2), ("System 3", SYSTEM_3)):
+    systems = (("System 1", SYSTEM_1), ("System 2", SYSTEM_2), ("System 3", SYSTEM_3))
+    for label, (cpu, gpu) in systems:
         rows.append(
             {
                 "system": label,

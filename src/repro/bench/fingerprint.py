@@ -1,0 +1,124 @@
+"""Content fingerprints for the bench layer's persistent result cache.
+
+A bench cell — one ``(dataset, algorithm, GPU, cost model)`` simulation — is
+deterministic, so its result can be content-addressed: hash every input that
+affects the outcome and use the digest as the cache key.  This module builds
+those keys.
+
+The key covers, canonically and recursively:
+
+* the dataset's full generation recipe (generator, params, seed, operation),
+  **not** just its name — respecifying a dataset must invalidate its cells;
+* the algorithm's :meth:`~repro.spgemm.base.SpGEMMAlgorithm.fingerprint`
+  (class, name, cost model, and scheme options such as
+  :class:`~repro.core.reorganizer.ReorganizerOptions`);
+* the :class:`~repro.gpusim.config.GPUConfig` and the simulator's
+  :class:`~repro.gpusim.costs.CostModel`, field by field;
+* a schema stamp (:data:`SCHEMA_VERSION` plus the package version), so a
+  format or semantics change orphans old entries instead of corrupting reads.
+
+Anything that cannot be canonicalised (stateful tuners, exotic parameter
+types) raises :class:`~repro.errors.FingerprintError`, and the caller simply
+bypasses the cache for that cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+from repro import __version__
+from repro.errors import FingerprintError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports keep this module light
+    from repro.datasets.catalog import DatasetSpec
+    from repro.gpusim.config import GPUConfig
+    from repro.gpusim.costs import CostModel
+    from repro.spgemm.base import SpGEMMAlgorithm
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "canonical",
+    "digest",
+    "dataset_fingerprint",
+    "cell_key",
+    "context_key",
+]
+
+#: Bump when the cached payload format or the simulation semantics captured by
+#: the key change incompatibly; every existing cache entry becomes a miss.
+SCHEMA_VERSION = 1
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-able structure with deterministic ordering.
+
+    Dataclasses flatten field by field, mappings sort by key, sequences keep
+    order.  Anything else raises :class:`FingerprintError` rather than
+    guessing at identity.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical(getattr(obj, f.name)) for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): canonical(obj[k]) for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise FingerprintError(f"cannot fingerprint a value of type {type(obj).__name__}")
+
+
+def digest(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    blob = json.dumps(canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def dataset_fingerprint(spec: DatasetSpec) -> dict:
+    """The full generation recipe of a dataset — everything :func:`load` uses."""
+    return {
+        "name": spec.name,
+        "generator": spec.generator,
+        "params": canonical(spec.params),
+        "seed": spec.seed,
+        "operation": spec.operation,
+    }
+
+
+def context_key(spec: DatasetSpec) -> str:
+    """Key for in-process :class:`MultiplyContext` caching.
+
+    Covers the recipe, not just the name, so a respecified dataset can never
+    be served a stale context.
+    """
+    return digest({"schema": SCHEMA_VERSION, "dataset": dataset_fingerprint(spec)})
+
+
+def cell_key(
+    spec: DatasetSpec,
+    algorithm: SpGEMMAlgorithm,
+    label: str,
+    gpu: GPUConfig,
+    sim_costs: CostModel,
+) -> str:
+    """Content address of one bench cell.
+
+    ``label`` is the caller's display name for the algorithm (it is stored in
+    the :class:`BenchResult`, so it participates in the key to keep cached
+    results byte-identical to freshly computed ones).  ``sim_costs`` is the
+    simulator's cost model, which may differ from ``algorithm.costs``.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "version": __version__,
+        "dataset": dataset_fingerprint(spec),
+        "algorithm": algorithm.fingerprint(),
+        "label": label,
+        "gpu": canonical(gpu),
+        "sim_costs": canonical(sim_costs),
+    }
+    return digest(payload)

@@ -1,0 +1,129 @@
+"""Process-pool sharding of the bench grid.
+
+The full reproduction sweeps 28 matrices × 3 GPUs × 7+ algorithms; each cell
+is an independent deterministic simulation, so the grid parallelises
+embarrassingly.  Sharding is at **dataset granularity**: building a
+:class:`MultiplyContext` (one full symbolic expansion) dominates per-dataset
+setup, so each task ships one dataset plus its algorithm roster to a worker,
+which builds the context once — in its process-local context cache — and
+simulates every cell against it.
+
+Properties the runner relies on:
+
+* **Deterministic merge** — workers return plain :class:`BenchResult`
+  objects; the caller reassembles them by ``(dataset, label)`` key, so the
+  output never depends on completion order, and results are identical to the
+  serial path (same NumPy code on the same inputs).
+* **Load balancing** — shards are submitted largest-first (LPT order, using
+  the catalog's published nnz as the size estimate) onto a dynamic pool, so
+  one hub-heavy matrix doesn't serialise the tail of the run.
+* **Graceful degradation** — a dead or unstartable pool (resource limits,
+  broken interpreter forks) downgrades to the serial path for whatever cells
+  are still outstanding; simulation errors raised *inside* a worker are real
+  failures and propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from pickle import PicklingError
+from typing import TYPE_CHECKING
+
+from repro.datasets.catalog import get_spec
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.costs import CostModel, DEFAULT_COSTS
+from repro.gpusim.simulator import GPUSimulator
+from repro.spgemm.base import SpGEMMAlgorithm
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.bench.runner import BenchResult
+
+__all__ = ["default_workers", "run_sharded"]
+
+_POOL_ERRORS = (BrokenProcessPool, PicklingError, OSError)
+
+
+def default_workers() -> int:
+    """Pool width for ``--workers 0`` / "use the machine": all visible cores."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _shard_size_estimate(name: str) -> int:
+    """Rough relative cost of a dataset's shard, for largest-first submission.
+
+    The catalog's published nnz(A) tracks simulation cost well enough for LPT
+    ordering; synthetic entries without published stats fall back to their
+    generator's requested nnz (or 0 — order among unknowns is preserved).
+    """
+    spec = get_spec(name)
+    if spec.paper_nnz_a:
+        return int(spec.paper_nnz_a)
+    params = spec.params or {}
+    for key in ("nnz", "n_edges", "nnz_per_row"):
+        if key in params:
+            try:
+                return int(params[key])
+            except (TypeError, ValueError):
+                continue
+    return 0
+
+
+def _simulate_shard(
+    name: str,
+    cells: list[tuple[str, SpGEMMAlgorithm]],
+    gpu: GPUConfig,
+    costs: CostModel | None,
+) -> list["BenchResult"]:
+    """Worker body: one dataset, many algorithms, one context build."""
+    # Deferred import: the worker resolves the context through the runner's
+    # process-local cache, so repeated shards of the same dataset (or a
+    # forked parent's warm cache) are reused.
+    from repro.bench import runner
+
+    ctx = runner.get_context(name)
+    simulator = GPUSimulator(gpu, costs or DEFAULT_COSTS)
+    return [
+        runner._make_result(name, label, gpu, algo.simulate(ctx, simulator))
+        for label, algo in cells
+    ]
+
+
+def run_sharded(
+    pending: dict[str, list[tuple[str, SpGEMMAlgorithm]]],
+    gpu: GPUConfig,
+    costs: CostModel | None,
+    workers: int,
+) -> dict[tuple[str, str], "BenchResult"]:
+    """Evaluate ``pending`` (dataset -> cells) across a process pool.
+
+    Falls back to the serial path for any cells left outstanding when the
+    pool itself fails; exceptions raised by the simulation code propagate.
+    """
+    from repro.bench import runner
+
+    shards = sorted(pending.items(), key=lambda kv: -_shard_size_estimate(kv[0]))
+    results: dict[tuple[str, str], "BenchResult"] = {}
+    remaining = dict(shards)
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
+            futures = {
+                pool.submit(_simulate_shard, name, cells, gpu, costs): name
+                for name, cells in shards
+            }
+            for future in as_completed(futures):
+                name = futures[future]
+                for res in future.result():
+                    results[(name, res.algorithm)] = res
+                remaining.pop(name, None)
+    except _POOL_ERRORS as exc:
+        warnings.warn(
+            f"bench worker pool failed ({exc!r}); "
+            f"finishing {len(remaining)} shard(s) serially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        results.update(runner._run_serial(remaining, gpu, costs))
+    return results

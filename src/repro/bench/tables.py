@@ -39,7 +39,11 @@ def format_table(
     if title:
         lines.append(title)
     widths = [first_col_width] + [max(col_width, len(h)) for h in headers[1:]]
-    lines.append("  ".join(f"{h:>{w}}" if i else f"{h:<{w}}" for i, (h, w) in enumerate(zip(headers, widths))))
+    lines.append(
+        "  ".join(
+            f"{h:>{w}}" if i else f"{h:<{w}}" for i, (h, w) in enumerate(zip(headers, widths))
+        )
+    )
     lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
     for row in rows:
         cells = []

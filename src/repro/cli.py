@@ -6,18 +6,29 @@ Commands:
 * ``run``               — simulate one algorithm on one dataset and print the
                           profile (optionally dump JSON).
 * ``compare``           — all seven schemes on one dataset, speedup table.
+* ``bench``             — a (datasets × algorithms) grid through the shared
+                          runner: sharded across ``--workers`` processes and
+                          memoised in the persistent result cache.
 * ``experiment``        — regenerate one of the paper's tables/figures.
+
+``compare``, ``bench`` and ``experiment`` accept the execution flags
+``--workers N`` (0 = all cores), ``--cache-dir PATH`` and ``--no-cache``;
+caching defaults to on, under ``~/.cache/repro``.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 
+from repro.bench import runner
+from repro.bench.cache import ResultCache, result_to_dict
+from repro.bench.parallel import default_workers
 from repro.bench.runner import get_context, paper_algorithms, run_matrix
 from repro.bench.tables import format_table
-from repro.datasets.catalog import list_specs
+from repro.datasets.catalog import list_names, list_specs
 from repro.errors import ReproError
 from repro.gpusim.config import ALL_GPUS, TITAN_XP
 from repro.gpusim.export import stats_to_json
@@ -48,6 +59,30 @@ def _algo_by_name(name: str):
     raise ReproError(
         f"unknown algorithm {name!r}; known: {[a.name for a in paper_algorithms()]}"
     )
+
+
+def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine flags shared by grid-running commands."""
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for the bench grid (0 = all cores; default 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent result-cache directory (default ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the persistent result cache entirely",
+    )
+
+
+def _configure_runner(args: argparse.Namespace) -> ResultCache | None:
+    """Apply the execution flags as process-wide runner defaults."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = default_workers() if args.workers == 0 else args.workers
+    runner.configure(workers=workers, cache=cache)
+    return cache
 
 
 def _cmd_datasets(args: argparse.Namespace) -> int:
@@ -81,6 +116,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    _configure_runner(args)
     gpu = _gpu_by_name(args.gpu)
     results = run_matrix([args.dataset], paper_algorithms(), gpu)
     base = results[(args.dataset, "row-product")].seconds
@@ -96,7 +132,33 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    cache = _configure_runner(args)
+    gpu = _gpu_by_name(args.gpu)
+    datasets = args.datasets or list_names(args.collection)
+    if not datasets:
+        raise ReproError("no datasets selected; pass names or --collection")
+    results = run_matrix(datasets, paper_algorithms(), gpu)
+    rows = [
+        [name, algo, res.seconds * 1e6, res.gflops]
+        for (name, algo), res in results.items()
+    ]
+    print(format_table(
+        ["dataset", "algorithm", "time us", "GFLOPS"], rows,
+        title=f"bench grid on {gpu.name} ({len(datasets)} datasets)",
+    ))
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
+    if args.out:
+        payload = [result_to_dict(res) for res in results.values()]
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {len(payload)} results to {args.out}")
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    _configure_runner(args)
     module = importlib.import_module(f"repro.bench.experiments.{args.name}")
     module.main()
     return 0
@@ -121,18 +183,34 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("compare", help="all schemes on one dataset")
     p.add_argument("dataset")
     p.add_argument("--gpu", default=TITAN_XP.name)
+    _add_exec_flags(p)
     p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("bench", help="run a dataset x algorithm grid via the shared runner")
+    p.add_argument("datasets", nargs="*", help="dataset names (default: --collection)")
+    p.add_argument("--collection", choices=["florida", "stanford", "synthetic"], default=None)
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    p.add_argument("--out", default=None, metavar="FILE", help="write results as JSON")
+    _add_exec_flags(p)
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=_EXPERIMENTS)
+    _add_exec_flags(p)
     p.set_defaults(func=_cmd_experiment)
 
     args = parser.parse_args(argv)
+    # Commands apply their execution flags as process-wide runner defaults;
+    # snapshot and restore them so in-process callers (tests, embedders) are
+    # not left with this invocation's cache/workers settings.
+    saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
     try:
         return args.func(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        runner.configure(workers=saved_workers, cache=saved_cache)
 
 
 if __name__ == "__main__":

@@ -81,6 +81,10 @@ class AdaptiveBlockReorganizer(SpGEMMAlgorithm):
 
     name = "adaptive-reorganizer"
 
+    #: Tuning depends on per-dataset state (and optionally a live simulator),
+    #: so results are not content-addressable by constructor parameters.
+    fingerprintable = False
+
     def __init__(self, *args, search: bool = False,
                  simulator: GPUSimulator | None = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)

@@ -14,12 +14,13 @@ normal pairs expand as usual, and a single coalescing merge produces C.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.gpusim.block import BlockArrayBuilder, concatenate
+from repro.gpusim.block import BlockArrayBuilder
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.host import device_precalc_cycles, host_split_seconds
 from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
@@ -78,6 +79,12 @@ class BlockReorganizer(SpGEMMAlgorithm):
     def __init__(self, *args, options: ReorganizerOptions | None = None, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.options = options or ReorganizerOptions()
+
+    def fingerprint(self) -> dict:
+        """Identity for the result cache: base fields plus the option set."""
+        fp = super().fingerprint()
+        fp["options"] = dataclasses.asdict(self.options)
+        return fp
 
     # ------------------------------------------------------------------
     # Numeric plane

@@ -45,7 +45,10 @@ class LoadedDataset:
         return total_expansion_work(self.a_csc, self.b)
 
 
-_CACHE: dict[str, LoadedDataset] = {}
+#: Keyed by ``(name, recipe fingerprint)``: a respecified dataset (changed
+#: generator params or seed under the same name) regenerates instead of
+#: serving the stale matrices.
+_CACHE: dict[tuple[str, str], LoadedDataset] = {}
 
 
 def clear_cache() -> None:
@@ -55,14 +58,17 @@ def clear_cache() -> None:
 
 def load(name: str) -> LoadedDataset:
     """Generate (or fetch from cache) the dataset registered under ``name``."""
-    if name in _CACHE:
-        return _CACHE[name]
+    from repro.bench.fingerprint import context_key
+
     spec = get_spec(name)
+    key = (name, context_key(spec))
+    if key in _CACHE:
+        return _CACHE[key]
     a_coo, b_coo = _generate(spec)
     a = a_coo.to_csr()
     b = b_coo.to_csr() if b_coo is not None else a
     loaded = LoadedDataset(spec=spec, a=a, a_csc=a_coo.to_csc(), b=b)
-    _CACHE[name] = loaded
+    _CACHE[key] = loaded
     return loaded
 
 

@@ -29,3 +29,12 @@ class SimulationError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm or simulator option is out of its valid range."""
+
+
+class FingerprintError(ReproError):
+    """A bench-cell component cannot be content-addressed (stateful scheme,
+    non-serialisable parameter), so its results must bypass the result cache."""
+
+
+class CacheError(ReproError):
+    """The persistent bench result cache hit an unrecoverable condition."""

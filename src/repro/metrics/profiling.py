@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.gpusim.stats import KernelStats
 from repro.metrics.lbi import load_balancing_index
 

@@ -14,11 +14,13 @@ Section IV-B computes).  An algorithm then offers:
 from __future__ import annotations
 
 import abc
+import dataclasses
 from dataclasses import dataclass
 from functools import cached_property
 
 import numpy as np
 
+from repro.errors import FingerprintError
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.costs import DEFAULT_COSTS, CostModel
 from repro.gpusim.simulator import GPUSimulator
@@ -107,8 +109,30 @@ class SpGEMMAlgorithm(abc.ABC):
     #: short identifier used in bench tables ("row-product", "cusparse", ...)
     name: str = "abstract"
 
+    #: False for stateful/tuned schemes whose output is not a pure function of
+    #: their constructor parameters; those bypass the persistent result cache.
+    fingerprintable: bool = True
+
     def __init__(self, costs: CostModel = DEFAULT_COSTS) -> None:
         self.costs = costs
+
+    def fingerprint(self) -> dict:
+        """JSON-able identity of everything that affects this scheme's output.
+
+        Subclasses with extra tunables (e.g. the Block Reorganizer's
+        :class:`ReorganizerOptions`) must extend the returned dict; schemes
+        whose behaviour is not a pure function of constructor parameters set
+        ``fingerprintable = False`` instead.
+        """
+        if not self.fingerprintable:
+            raise FingerprintError(
+                f"{self.name!r} results are not content-addressable"
+            )
+        return {
+            "class": type(self).__name__,
+            "name": self.name,
+            "costs": dataclasses.asdict(self.costs),
+        }
 
     @abc.abstractmethod
     def multiply(self, ctx: MultiplyContext) -> CSRMatrix:

@@ -4,7 +4,7 @@ spGEMM scheme (baselines, libraries, Block Reorganizer)."""
 import numpy as np
 import pytest
 
-from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.core.reorganizer import BlockReorganizer
 from repro.gpusim.config import TITAN_XP
 from repro.gpusim.simulator import GPUSimulator
 from repro.spgemm.base import MultiplyContext

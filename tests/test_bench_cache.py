@@ -1,0 +1,244 @@
+"""Persistent result cache and fingerprinting: hit/miss, invalidation,
+corruption recovery, and the context-cache keying audit."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.cache import ResultCache, result_from_dict, result_to_dict
+from repro.bench.fingerprint import SCHEMA_VERSION, canonical, cell_key, context_key
+from repro.bench.runner import clear_context_cache, get_context, run_matrix
+from repro.core.adaptive import AdaptiveBlockReorganizer
+from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.datasets import catalog
+from repro.datasets import loader
+from repro.errors import FingerprintError
+from repro.gpusim.config import TESLA_V100, TITAN_XP
+from repro.gpusim.costs import DEFAULT_COSTS, CostModel
+from repro.spgemm.rowproduct import RowProductSpGEMM
+
+SMALL = "poisson3da"
+
+
+def _one_cell(cache=None, costs=None, gpu=TITAN_XP):
+    results = run_matrix([SMALL], [RowProductSpGEMM()], gpu, costs, cache=cache)
+    return results[(SMALL, "row-product")]
+
+
+@pytest.fixture
+def spec():
+    return catalog.get_spec(SMALL)
+
+
+class TestFingerprint:
+    def test_canonical_rejects_exotic_types(self):
+        with pytest.raises(FingerprintError):
+            canonical(object())
+
+    def test_cell_key_is_stable(self, spec):
+        a = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_gpu_config_invalidates(self, spec):
+        algo = RowProductSpGEMM()
+        a = cell_key(spec, algo, "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(spec, algo, "row", TESLA_V100, DEFAULT_COSTS)
+        c = cell_key(
+            spec, algo, "row",
+            dataclasses.replace(TITAN_XP, l2_size=TITAN_XP.l2_size * 2),
+            DEFAULT_COSTS,
+        )
+        assert len({a, b, c}) == 3
+
+    def test_cost_model_invalidates(self, spec):
+        algo = RowProductSpGEMM()
+        a = cell_key(spec, algo, "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(
+            spec, algo, "row", TITAN_XP, CostModel().with_overrides(mem_latency=123.0)
+        )
+        assert a != b
+
+    def test_algorithm_options_invalidate(self, spec):
+        a = cell_key(spec, BlockReorganizer(), "BR", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(
+            spec,
+            BlockReorganizer(options=ReorganizerOptions(beta=5.0)),
+            "BR", TITAN_XP, DEFAULT_COSTS,
+        )
+        assert a != b
+
+    def test_algorithm_costs_invalidate(self, spec):
+        a = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(
+            spec,
+            RowProductSpGEMM(CostModel().with_overrides(instr_per_product=9.0)),
+            "row", TITAN_XP, DEFAULT_COSTS,
+        )
+        assert a != b
+
+    def test_dataset_recipe_invalidates(self, spec):
+        algo = RowProductSpGEMM()
+        a = cell_key(spec, algo, "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(
+            dataclasses.replace(spec, seed=spec.seed + 1),
+            algo, "row", TITAN_XP, DEFAULT_COSTS,
+        )
+        assert a != b
+
+    def test_label_participates(self, spec):
+        algo = RowProductSpGEMM()
+        a = cell_key(spec, algo, "row", TITAN_XP, DEFAULT_COSTS)
+        b = cell_key(spec, algo, "baseline", TITAN_XP, DEFAULT_COSTS)
+        assert a != b
+
+    def test_stateful_scheme_is_not_fingerprintable(self):
+        with pytest.raises(FingerprintError):
+            AdaptiveBlockReorganizer().fingerprint()
+
+
+class TestResultCacheStore:
+    def test_roundtrip_is_lossless(self, tmp_path):
+        res = _one_cell()
+        blob = result_to_dict(res)
+        back = result_from_dict(json.loads(json.dumps(blob)))
+        assert result_to_dict(back) == blob
+        assert back.seconds == res.seconds
+        assert back.gflops == res.gflops
+        assert back.stats.total_seconds == res.stats.total_seconds
+        assert back.stats.lbi() == res.stats.lbi()
+        for p_a, p_b in zip(res.stats.phases, back.stats.phases):
+            assert np.array_equal(p_a.sm_busy_cycles, p_b.sm_busy_cycles)
+
+    def test_get_put_counters(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, _one_cell())
+        assert len(cache) == 1
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_corrupted_entry_is_a_miss_and_evicted(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        cache.put(key, _one_cell())
+        cache.path_for(key).write_text("{ not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_truncated_payload_is_a_miss(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        cache.put(key, _one_cell())
+        path = cache.path_for(key)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        del payload["result"]["stats"]
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        cache.put(key, _one_cell())
+        path = cache.path_for(key)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_unwritable_dir_degrades_gracefully(self, tmp_path):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(blocker)
+        cache.put("ab" * 32, _one_cell())
+        assert cache.write_errors == 1
+
+    def test_clear(self, tmp_path, spec):
+        cache = ResultCache(tmp_path)
+        key = cell_key(spec, RowProductSpGEMM(), "row", TITAN_XP, DEFAULT_COSTS)
+        cache.put(key, _one_cell())
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+
+class TestRunMatrixWithCache:
+    def test_cold_then_warm(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_matrix([SMALL], [RowProductSpGEMM(), BlockReorganizer()], cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        warm = run_matrix([SMALL], [RowProductSpGEMM(), BlockReorganizer()], cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        for cell in cold:
+            assert result_to_dict(cold[cell]) == result_to_dict(warm[cell])
+
+    def test_warm_run_never_simulates(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        run_matrix([SMALL], [RowProductSpGEMM()], cache=cache)
+
+        def boom(self, ctx, simulator):
+            raise AssertionError("cache should have answered this cell")
+
+        monkeypatch.setattr(RowProductSpGEMM, "simulate", boom)
+        warm = run_matrix([SMALL], [RowProductSpGEMM()], cache=cache)
+        assert warm[(SMALL, "row-product")].seconds > 0
+
+    def test_changed_costs_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_matrix([SMALL], [RowProductSpGEMM()], cache=cache)
+        run_matrix(
+            [SMALL], [RowProductSpGEMM()],
+            costs=CostModel().with_overrides(mem_latency=500.0),
+            cache=cache,
+        )
+        assert cache.hits == 0
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+    def test_unfingerprintable_scheme_bypasses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        algos = {"adaptive": AdaptiveBlockReorganizer()}
+        run_matrix([SMALL], algos, cache=cache)
+        run_matrix([SMALL], algos, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 0)
+        assert len(cache) == 0
+
+
+class TestContextCacheAudit:
+    """The in-process context/dataset caches must key on the full generation
+    recipe — a respecified dataset under the same name is a different
+    dataset (regression guard for name-only keying)."""
+
+    def test_same_recipe_reuses_context(self):
+        clear_context_cache()
+        assert get_context(SMALL) is get_context(SMALL)
+
+    def test_respecified_dataset_invalidates(self, monkeypatch):
+        clear_context_cache()
+        loader.clear_cache()
+        before = get_context(SMALL)
+        spec = catalog.get_spec(SMALL)
+        monkeypatch.setitem(
+            catalog._REGISTRY, SMALL, dataclasses.replace(spec, seed=spec.seed + 1)
+        )
+        after = get_context(SMALL)
+        assert after is not before
+        assert not np.array_equal(before.a_csr.data, after.a_csr.data)
+
+    def test_respecified_params_invalidate(self, monkeypatch):
+        clear_context_cache()
+        loader.clear_cache()
+        before = get_context(SMALL)
+        spec = catalog.get_spec(SMALL)
+        params = {**spec.params, "nnz_per_row": spec.params["nnz_per_row"] // 2}
+        monkeypatch.setitem(
+            catalog._REGISTRY, SMALL, dataclasses.replace(spec, params=params)
+        )
+        assert context_key(spec) != context_key(catalog.get_spec(SMALL))
+        after = get_context(SMALL)
+        assert after is not before
+        assert after.a_csr.nnz < before.a_csr.nnz

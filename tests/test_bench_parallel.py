@@ -1,0 +1,94 @@
+"""Parallel bench engine: serial/parallel equivalence, deterministic merge
+order, labelled rosters, and graceful degradation when the pool dies."""
+
+import json
+
+import pytest
+
+from repro.bench import parallel
+from repro.bench.cache import result_to_dict
+from repro.bench.runner import (
+    ablation_algorithms,
+    configure,
+    paper_algorithms,
+    run_matrix,
+)
+from repro.gpusim.config import TITAN_XP
+
+SMALL = ["poisson3da", "as_caida"]
+
+
+def _explode(name, cells, gpu, costs):
+    # Module-level so the process pool can pickle it by reference.
+    raise ValueError("a real bug, not a pool failure")
+
+
+def _blobs(results):
+    return {cell: json.dumps(result_to_dict(res), sort_keys=True) for cell, res in results.items()}
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_bit_for_bit(self):
+        serial = run_matrix(SMALL, paper_algorithms(), workers=1, cache=None)
+        par = run_matrix(SMALL, paper_algorithms(), workers=2, cache=None)
+        assert list(serial) == list(par)
+        assert _blobs(serial) == _blobs(par)
+
+    def test_merge_order_is_grid_order(self):
+        algos = paper_algorithms()
+        results = run_matrix(SMALL, algos, workers=2, cache=None)
+        expected = [(d, a.name) for d in SMALL for a in algos]
+        assert list(results) == expected
+
+    def test_labelled_mapping_roster(self):
+        algos = ablation_algorithms()
+        results = run_matrix(SMALL[:1], algos, workers=1, cache=None)
+        assert list(results) == [(SMALL[0], label) for label in algos]
+        for (_, label), res in results.items():
+            assert res.algorithm == label
+
+
+class TestDegradation:
+    def test_workers_one_never_touches_the_pool(self, monkeypatch):
+        def boom(*args, **kwargs):
+            raise AssertionError("workers=1 must not shard")
+
+        monkeypatch.setattr(parallel, "run_sharded", boom)
+        results = run_matrix(SMALL[:1], paper_algorithms(), workers=1, cache=None)
+        assert len(results) == 7
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        class DeadPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no more processes")
+
+        monkeypatch.setattr(parallel, "ProcessPoolExecutor", DeadPool)
+        with pytest.warns(RuntimeWarning, match="finishing 2 shard"):
+            results = run_matrix(SMALL, paper_algorithms(), workers=2, cache=None)
+        assert len(results) == len(SMALL) * 7
+        serial = run_matrix(SMALL, paper_algorithms(), workers=1, cache=None)
+        assert _blobs(results) == _blobs(serial)
+
+    def test_simulation_errors_propagate(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_simulate_shard", _explode)
+        with pytest.raises(ValueError, match="a real bug"):
+            parallel.run_sharded(
+                {"poisson3da": [("row", paper_algorithms()[0])]}, TITAN_XP, None, 2
+            )
+
+
+class TestDefaults:
+    def test_default_workers_positive(self):
+        assert parallel.default_workers() >= 1
+
+    def test_configure_sets_and_clamps(self):
+        from repro.bench import runner
+
+        saved = (runner._DEFAULTS.workers, runner._DEFAULTS.cache)
+        try:
+            configure(workers=0)
+            assert runner._DEFAULTS.workers == 1
+            configure(workers=3)
+            assert runner._DEFAULTS.workers == 3
+        finally:
+            configure(workers=saved[0], cache=saved[1])

@@ -50,7 +50,9 @@ class TestExpandRow:
         rr, cr, vr = expand_row(square_csr, square_csr)
         assert len(ro) == len(rr)
         # Same multiset of triplets in different order.
-        key = lambda r, c, v: np.lexsort((v, c, r))
+        def key(r, c, v):
+            return np.lexsort((v, c, r))
+
         oo, orr = key(ro, co, vo), key(rr, cr, vr)
         assert np.array_equal(ro[oo], rr[orr])
         assert np.array_equal(co[oo], cr[orr])

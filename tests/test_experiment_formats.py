@@ -5,8 +5,6 @@ The bench suite exercises full runs; these verify each module's
 dataset matrix.
 """
 
-import pytest
-
 SMALL = ["poisson3da", "as_caida"]
 SKEWED = ["as_caida"]
 

@@ -12,7 +12,6 @@ from repro.bench.runner import get_context
 from repro.core.reorganizer import BlockReorganizer
 from repro.gpusim.config import TESLA_V100, TITAN_XP
 from repro.gpusim.simulator import GPUSimulator
-from repro.spgemm.base import MultiplyContext
 from repro.spgemm.outerproduct import OuterProductSpGEMM
 from repro.spgemm.rowproduct import RowProductSpGEMM
 

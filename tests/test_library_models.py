@@ -78,7 +78,9 @@ class TestCuspModel:
         trace = CuspSpGEMM().build_trace(ctx, TITAN_XP)
         sort = next(p.blocks for p in trace.phases if p.name == "sort")
         expand = next(p.blocks for p in trace.phases if p.name == "expand")
-        total = lambda b: float(b.unique_bytes.sum() + b.write_bytes.sum())
+        def total(b):
+            return float(b.unique_bytes.sum() + b.write_bytes.sum())
+
         assert total(sort) == pytest.approx(
             2.0 * cusp._RADIX_PASSES * total(expand), rel=0.01
         )

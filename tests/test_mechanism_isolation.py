@@ -13,10 +13,8 @@ from repro.gpusim.block import BlockArrayBuilder
 from repro.gpusim.config import TITAN_XP
 from repro.gpusim.costs import CostModel
 from repro.gpusim.simulator import GPUSimulator
-from repro.gpusim.trace import KernelPhase, KernelTrace
 from repro.sparse.random import power_law
 from repro.spgemm.base import MultiplyContext
-from repro.spgemm.outerproduct import OuterProductSpGEMM
 
 ZERO_MEMORY = CostModel().with_overrides(
     mem_latency=0.0, l2_latency=0.0, mem_ops_per_product=0.0
@@ -177,6 +175,8 @@ class TestTechniqueMechanismBinding:
                 options=ReorganizerOptions(enable_splitting=False,
                                            enable_gathering=False)
             ).simulate(ctx, sim)
-            merge = lambda s: s.stage_seconds("merge")
+            def merge(s):
+                return s.stage_seconds("merge")
+
             gains[label] = merge(base) / max(merge(limited), 1e-12)
         assert gains["small"] >= gains["huge"] - 0.02

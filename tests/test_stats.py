@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.sparse.stats import DegreeStats, degree_stats, gini, is_skewed, top_share
+from repro.sparse.stats import degree_stats, gini, is_skewed, top_share
 
 
 class TestGini:

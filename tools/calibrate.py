@@ -1,7 +1,7 @@
 """Calibration sweep: run baselines + BR + ablations over key datasets."""
 import sys
 import numpy as np
-from repro.datasets import load, FLORIDA_NAMES, STANFORD_NAMES
+from repro.datasets import load
 from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
 from repro.core import BlockReorganizer, ReorganizerOptions
 from repro.gpusim import GPUSimulator, TITAN_XP, CostModel

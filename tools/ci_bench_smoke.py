@@ -1,0 +1,103 @@
+"""CI bench smoke: prove serial, parallel and cached execution agree.
+
+Runs a small Figure-8-style grid (two synthetic stand-in matrices, all seven
+schemes) three ways —
+
+1. serially (``workers=1``, no cache),
+2. through the process-pool engine (``--workers``, default 2, no cache),
+3. twice against a fresh result cache (cold write, then warm read) —
+
+asserts every path yields **byte-identical** serialised ``BenchResult``s and
+that the warm pass is answered entirely from cache, then writes the results
+plus a comparison record as a JSON artifact for the CI run.
+
+Exit code 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.bench.cache import ResultCache, result_to_dict
+from repro.bench.runner import clear_context_cache, paper_algorithms, run_matrix
+from repro.datasets.loader import clear_cache
+
+DATASETS = ["poisson3da", "as_caida"]
+
+
+def _canonical(results) -> dict[str, str]:
+    """Map 'dataset/algorithm' -> canonical JSON of the full result."""
+    return {
+        f"{name}/{algo}": json.dumps(result_to_dict(res), sort_keys=True)
+        for (name, algo), res in results.items()
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--out", default="bench-smoke.json", metavar="FILE")
+    parser.add_argument("--datasets", nargs="*", default=DATASETS)
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    grid = (args.datasets, paper_algorithms())
+
+    serial = _canonical(run_matrix(*grid, workers=1, cache=None))
+
+    clear_context_cache()
+    clear_cache()
+    parallel = _canonical(run_matrix(*grid, workers=args.workers, cache=None))
+
+    if list(serial) != list(parallel):
+        failures.append("result ordering differs between serial and parallel runs")
+    for cell, blob in serial.items():
+        if parallel.get(cell) != blob:
+            failures.append(f"serial vs parallel mismatch in {cell}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        clear_context_cache()
+        clear_cache()
+        cold = _canonical(run_matrix(*grid, workers=args.workers, cache=cache))
+        cold_misses = cache.misses
+        clear_context_cache()
+        clear_cache()
+        warm = _canonical(run_matrix(*grid, workers=args.workers, cache=cache))
+        if cache.hits != len(warm):
+            failures.append(
+                f"warm pass expected {len(warm)} cache hits, saw {cache.hits}"
+            )
+        for cell, blob in serial.items():
+            if cold.get(cell) != blob:
+                failures.append(f"serial vs cold-cache mismatch in {cell}")
+            if warm.get(cell) != blob:
+                failures.append(f"serial vs warm-cache mismatch in {cell}")
+
+    artifact = {
+        "datasets": args.datasets,
+        "workers": args.workers,
+        "cells": len(serial),
+        "cold_cache_misses": cold_misses,
+        "failures": failures,
+        "results": {cell: json.loads(blob) for cell, blob in serial.items()},
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2)
+
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(serial)} cells identical across serial, "
+        f"parallel(workers={args.workers}) and cached paths -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

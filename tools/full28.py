@@ -1,35 +1,107 @@
-import sys, numpy as np, time
-from repro.datasets import FLORIDA_NAMES, STANFORD_NAMES, load
-from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
-from repro.core import BlockReorganizer, ReorganizerOptions
-from repro.gpusim import GPUSimulator, TITAN_XP, CostModel
+"""Full 28-matrix sweep with cost/config overrides, via the shared runner.
 
+Usage::
+
+    PYTHONPATH=src python tools/full28.py [k=v ...] [cfg.k=v ...] \
+        [--workers N] [--cache-dir PATH] [--no-cache]
+
+Positional ``k=v`` pairs override :class:`CostModel` fields; ``cfg.k=v``
+pairs override :class:`GPUConfig` fields (both participate in the result
+cache's fingerprint, so every override combination is cached independently).
+"""
+
+from __future__ import annotations
+
+import argparse
 import dataclasses
-overrides, cfg_overrides = {}, {}
-for kv in sys.argv[1:]:
-    k, v = kv.split('=')
-    if k.startswith('cfg.'):
-        cfg_overrides[k[4:]] = float(v)
-    else:
-        overrides[k] = float(v)
-costs = CostModel().with_overrides(**overrides)
-gpu = dataclasses.replace(TITAN_XP, **cfg_overrides) if cfg_overrides else TITAN_XP
-sim = GPUSimulator(gpu, costs)
-algos = {
-    'row': RowProductSpGEMM(costs), 'outer': OuterProductSpGEMM(costs), 'BR': BlockReorganizer(costs),
-    'Split': BlockReorganizer(costs, options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)),
-    'Gather': BlockReorganizer(costs, options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)),
-    'Limit': BlockReorganizer(costs, options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)),
-}
-speed = {k: [] for k in algos}; gfs = {}
-t0 = time.time()
-for name in FLORIDA_NAMES + STANFORD_NAMES:
-    ds = load(name); ctx = MultiplyContext.build(ds.a, ds.b, a_csc=ds.a_csc); ctx.c_row_nnz
-    r = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
-    for k in algos: speed[k].append(r['row']/r[k])
-    gfs[name] = 2*ctx.total_work/r['row']/1e9
-    print(f"{name:16s} rowGF={gfs[name]:5.2f} outer={r['row']/r['outer']:5.2f} BR={r['row']/r['BR']:5.2f} | vsO: S={r['outer']/r['Split']:5.2f} G={r['outer']/r['Gather']:5.2f} L={r['outer']/r['Limit']:5.2f}")
-g = lambda k: np.exp(np.mean(np.log(speed[k])))
-go = lambda k: np.exp(np.mean(np.log(np.array(speed[k])/np.array(speed['outer']))))
-print(f"GEOMEAN(28): outer={g('outer'):.3f} BR={g('BR'):.3f} | vsOuter: Split={go('Split'):.3f} Gather={go('Gather'):.3f} Limit={go('Limit'):.3f} BR={go('BR'):.3f}  [{time.time()-t0:.0f}s]")
-print(f"paper:       outer=0.95  BR=1.43  | vsOuter: Split=1.05  Gather=1.28  Limit=1.05  BR=1.51")
+import time
+
+import numpy as np
+
+from repro.bench.cache import ResultCache
+from repro.bench.parallel import default_workers
+from repro.bench.runner import run_matrix
+from repro.core import BlockReorganizer, ReorganizerOptions
+from repro.datasets import FLORIDA_NAMES, STANFORD_NAMES
+from repro.gpusim import TITAN_XP, CostModel
+from repro.spgemm import OuterProductSpGEMM, RowProductSpGEMM
+
+
+def make_algorithms(costs: CostModel):
+    """The sweep's roster: baselines plus the reorganizer and its ablations."""
+    return {
+        "row": RowProductSpGEMM(costs),
+        "outer": OuterProductSpGEMM(costs),
+        "BR": BlockReorganizer(costs),
+        "Split": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)
+        ),
+        "Gather": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)
+        ),
+        "Limit": BlockReorganizer(
+            costs, options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)
+        ),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("overrides", nargs="*", metavar="k=v",
+                        help="CostModel overrides; prefix cfg. for GPUConfig")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = all cores)")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+
+    overrides, cfg_overrides = {}, {}
+    for kv in args.overrides:
+        k, v = kv.split("=")
+        if k.startswith("cfg."):
+            cfg_overrides[k[4:]] = float(v)
+        else:
+            overrides[k] = float(v)
+    costs = CostModel().with_overrides(**overrides)
+    gpu = dataclasses.replace(TITAN_XP, **cfg_overrides) if cfg_overrides else TITAN_XP
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = default_workers() if args.workers == 0 else args.workers
+
+    algos = make_algorithms(costs)
+    names = FLORIDA_NAMES + STANFORD_NAMES
+    t0 = time.time()
+    results = run_matrix(names, algos, gpu, costs, workers=workers, cache=cache)
+
+    speed = {k: [] for k in algos}
+    for name in names:
+        r = {k: results[(name, k)].seconds for k in algos}
+        for k in algos:
+            speed[k].append(r["row"] / r[k])
+        row_gf = results[(name, "row")].gflops
+        print(
+            f"{name:16s} rowGF={row_gf:5.2f} outer={r['row'] / r['outer']:5.2f} "
+            f"BR={r['row'] / r['BR']:5.2f} | vsO: S={r['outer'] / r['Split']:5.2f} "
+            f"G={r['outer'] / r['Gather']:5.2f} L={r['outer'] / r['Limit']:5.2f}"
+        )
+
+    def g(k):
+        return np.exp(np.mean(np.log(speed[k])))
+
+    def go(k):
+        return np.exp(np.mean(np.log(np.array(speed[k]) / np.array(speed["outer"]))))
+
+    print(
+        f"GEOMEAN(28): outer={g('outer'):.3f} BR={g('BR'):.3f} | "
+        f"vsOuter: Split={go('Split'):.3f} Gather={go('Gather'):.3f} "
+        f"Limit={go('Limit'):.3f} BR={go('BR'):.3f}  [{time.time() - t0:.0f}s]"
+    )
+    print(
+        "paper:       outer=0.95  BR=1.43  | vsOuter: Split=1.05  Gather=1.28  Limit=1.05  BR=1.51"
+    )
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

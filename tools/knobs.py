@@ -23,6 +23,10 @@ for name in names:
     r = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
     for k in algos: speed[k].append(r['row']/r[k])
     gfs.append(2*ctx.total_work/r['row']/1e9)
-g = lambda k: np.exp(np.mean(np.log(speed[k])))
-go = lambda k: np.exp(np.mean(np.log(np.array(speed[k])/np.array(speed['outer']))))
+def g(k):
+    return np.exp(np.mean(np.log(speed[k])))
+
+def go(k):
+    return np.exp(np.mean(np.log(np.array(speed[k])/np.array(speed['outer']))))
+
 print(f"{str(overrides):60s} rowGF={np.mean(gfs):5.2f} outer={g('outer'):.2f} BR={g('BR'):.2f} | Split={go('Split'):.2f} Gather={go('Gather'):.2f} Limit={go('Limit'):.2f} BRvO={go('BR'):.2f}")

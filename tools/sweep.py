@@ -1,25 +1,82 @@
-import numpy as np
-from repro.datasets import load
-from repro.spgemm import MultiplyContext, OuterProductSpGEMM, RowProductSpGEMM
-from repro.core import BlockReorganizer, ReorganizerOptions
-from repro.gpusim import GPUSimulator, TITAN_XP
+"""Quick 10-dataset sweep through the shared runner (cache + sharding aware).
 
-sim = GPUSimulator(TITAN_XP)
-names = ['filter3d','harbor','2cube_sphere','mario002','offshore','youtube','as_caida','loc_gowalla','slashdot','web_notredame']
-algos = {
-    'row': RowProductSpGEMM(), 'outer': OuterProductSpGEMM(), 'BR': BlockReorganizer(),
-    'Split': BlockReorganizer(options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)),
-    'Gather': BlockReorganizer(options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)),
-    'Limit': BlockReorganizer(options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)),
-}
-rows_speed = {k: [] for k in algos}
-print(f"{'dataset':14s} {'rowGF':>6s} | vs-row: outer BR | vs-outer: Split Gather Limit BR")
-for name in names:
-    ds = load(name); ctx = MultiplyContext.build(ds.a, ds.b, a_csc=ds.a_csc); ctx.c_row_nnz
-    r = {k: a.simulate(ctx, sim).total_seconds for k, a in algos.items()}
-    for k in algos: rows_speed[k].append(r['row']/r[k])
-    print(f"{name:14s} {2*ctx.total_work/r['row']/1e9:6.2f} | {r['row']/r['outer']:5.2f} {r['row']/r['BR']:5.2f} |"
-          f" {r['outer']/r['Split']:6.2f} {r['outer']/r['Gather']:6.2f} {r['outer']/r['Limit']:6.2f} {r['outer']/r['BR']:5.2f}")
-g = lambda k: np.exp(np.mean(np.log(rows_speed[k])))
-go = lambda k: np.exp(np.mean(np.log(np.array(rows_speed[k])/np.array(rows_speed['outer']))))
-print(f"{'GEOMEAN':14s} {'':6s} | {g('outer'):5.2f} {g('BR'):5.2f} | {go('Split'):6.2f} {go('Gather'):6.2f} {go('Limit'):6.2f} {go('BR'):5.2f}")
+Usage::
+
+    PYTHONPATH=src python tools/sweep.py [--workers N] [--cache-dir PATH] [--no-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.bench.cache import ResultCache
+from repro.bench.parallel import default_workers
+from repro.bench.runner import run_matrix
+from repro.core import BlockReorganizer, ReorganizerOptions
+from repro.gpusim import TITAN_XP
+from repro.spgemm import OuterProductSpGEMM, RowProductSpGEMM
+
+NAMES = [
+    "filter3d", "harbor", "2cube_sphere", "mario002", "offshore",
+    "youtube", "as_caida", "loc_gowalla", "slashdot", "web_notredame",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes (0 = all cores)")
+    parser.add_argument("--cache-dir", default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    workers = default_workers() if args.workers == 0 else args.workers
+
+    algos = {
+        "row": RowProductSpGEMM(),
+        "outer": OuterProductSpGEMM(),
+        "BR": BlockReorganizer(),
+        "Split": BlockReorganizer(
+            options=ReorganizerOptions(enable_gathering=False, enable_limiting=False)
+        ),
+        "Gather": BlockReorganizer(
+            options=ReorganizerOptions(enable_splitting=False, enable_limiting=False)
+        ),
+        "Limit": BlockReorganizer(
+            options=ReorganizerOptions(enable_splitting=False, enable_gathering=False)
+        ),
+    }
+    results = run_matrix(NAMES, algos, TITAN_XP, workers=workers, cache=cache)
+
+    rows_speed = {k: [] for k in algos}
+    print(f"{'dataset':14s} {'rowGF':>6s} | vs-row: outer BR | vs-outer: Split Gather Limit BR")
+    for name in NAMES:
+        r = {k: results[(name, k)].seconds for k in algos}
+        for k in algos:
+            rows_speed[k].append(r["row"] / r[k])
+        print(
+            f"{name:14s} {results[(name, 'row')].gflops:6.2f} | "
+            f"{r['row'] / r['outer']:5.2f} {r['row'] / r['BR']:5.2f} |"
+            f" {r['outer'] / r['Split']:6.2f} {r['outer'] / r['Gather']:6.2f}"
+            f" {r['outer'] / r['Limit']:6.2f} {r['outer'] / r['BR']:5.2f}"
+        )
+
+    def g(k):
+        return np.exp(np.mean(np.log(rows_speed[k])))
+
+    def go(k):
+        return np.exp(np.mean(np.log(np.array(rows_speed[k]) / np.array(rows_speed["outer"]))))
+
+    print(
+        f"{'GEOMEAN':14s} {'':6s} | {g('outer'):5.2f} {g('BR'):5.2f} | "
+        f"{go('Split'):6.2f} {go('Gather'):6.2f} {go('Limit'):6.2f} {go('BR'):5.2f}"
+    )
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
