@@ -10,8 +10,11 @@ The key covers, canonically and recursively:
 * the dataset's full generation recipe (generator, params, seed, operation),
   **not** just its name — respecifying a dataset must invalidate its cells;
 * the algorithm's :meth:`~repro.spgemm.base.SpGEMMAlgorithm.fingerprint`
-  (class, name, cost model, and scheme options such as
-  :class:`~repro.core.reorganizer.ReorganizerOptions`);
+  (class, name, cost model, scheme options such as
+  :class:`~repro.core.reorganizer.ReorganizerOptions`, and the plan
+  signature — the lowering plus its
+  :class:`~repro.plan.passes.PlanPass` pipeline — so reorganising a
+  pipeline invalidates cached cells);
 * the :class:`~repro.gpusim.config.GPUConfig` and the simulator's
   :class:`~repro.gpusim.costs.CostModel`, field by field;
 * a schema stamp (:data:`SCHEMA_VERSION` plus the package version), so a
@@ -49,7 +52,9 @@ __all__ = [
 
 #: Bump when the cached payload format or the simulation semantics captured by
 #: the key change incompatibly; every existing cache entry becomes a miss.
-SCHEMA_VERSION = 1
+#: v2: algorithm fingerprints gained the plan signature, and traces carry a
+#: ``plan_shape`` digest in their meta (serialised into cached stats).
+SCHEMA_VERSION = 2
 
 
 def canonical(obj: Any) -> Any:

@@ -10,6 +10,10 @@ Commands:
                           runner: sharded across ``--workers`` processes and
                           memoised in the persistent result cache.
 * ``experiment``        — regenerate one of the paper's tables/figures.
+* ``plan show``         — lower one algorithm for one dataset and print the
+                          resulting :class:`ExecutionPlan` (phases, blocks,
+                          kernels, metadata); ``--execute`` also runs the
+                          numeric kernels with per-phase instrumentation.
 
 ``compare``, ``bench`` and ``experiment`` accept the execution flags
 ``--workers N`` (0 = all cores), ``--cache-dir PATH`` and ``--no-cache``;
@@ -34,6 +38,7 @@ from repro.gpusim.config import ALL_GPUS, TITAN_XP
 from repro.gpusim.export import stats_to_json
 from repro.gpusim.simulator import GPUSimulator
 from repro.metrics.profiling import profile_report
+from repro.plan.show import format_executions, format_plan
 
 __all__ = ["main"]
 
@@ -157,6 +162,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_plan_show(args: argparse.Namespace) -> int:
+    ctx = get_context(args.dataset)
+    algo = _algo_by_name(args.algorithm)
+    gpu = _gpu_by_name(args.gpu)
+    plan = algo.lower(ctx, gpu)
+    print(f"{args.dataset} lowered for {gpu.name}:")
+    print(format_plan(plan))
+    if args.execute:
+        _, records = algo.profile_plan(ctx, gpu)
+        print()
+        print("numeric execution:")
+        print(format_executions(records))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     _configure_runner(args)
     module = importlib.import_module(f"repro.bench.experiments.{args.name}")
@@ -193,6 +213,18 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--out", default=None, metavar="FILE", help="write results as JSON")
     _add_exec_flags(p)
     p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("plan", help="inspect ExecutionPlan lowerings")
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+    p = plan_sub.add_parser("show", help="print one dataset/algorithm lowering")
+    p.add_argument("dataset")
+    p.add_argument("algorithm")
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    p.add_argument(
+        "--execute", action="store_true",
+        help="also run the numeric kernels and print per-phase instrumentation",
+    )
+    p.set_defaults(func=_cmd_plan_show)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", choices=_EXPERIMENTS)

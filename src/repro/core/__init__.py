@@ -3,7 +3,12 @@
 from repro.core.classify import WorkloadClasses, classify_pairs
 from repro.core.gathering import GatherPlan, gathering_factor, plan_gathering
 from repro.core.limiting import LIMIT_SMEM_STEP, limited_row_mask, limiting_smem_bytes
-from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
+from repro.core.reorganizer import (
+    BlockReorganizer,
+    ReorganizerOptions,
+    options_from_pipeline,
+    plan_pipeline,
+)
 from repro.core.splitting import (
     SplitPlan,
     choose_split_factors,
@@ -22,6 +27,8 @@ __all__ = [
     "limiting_smem_bytes",
     "BlockReorganizer",
     "ReorganizerOptions",
+    "options_from_pipeline",
+    "plan_pipeline",
     "SplitPlan",
     "choose_split_factors",
     "plan_splitting",

@@ -22,8 +22,7 @@ from dataclasses import dataclass, replace
 from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.simulator import GPUSimulator
-from repro.gpusim.trace import KernelTrace
-from repro.sparse.csr import CSRMatrix
+from repro.plan.ir import ExecutionPlan
 from repro.sparse.stats import degree_stats
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
 
@@ -135,10 +134,10 @@ class AdaptiveBlockReorganizer(SpGEMMAlgorithm):
         report = self.tune(ctx)
         return BlockReorganizer(self.costs, options=report.options)
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: identical results regardless of tuning."""
-        return self._configured(ctx).multiply(ctx)
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Lower through the tuned pipeline (numerics identical regardless)."""
+        return self._configured(ctx).lower(ctx, config)
 
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Performance plane with the tuned options."""
-        return self._configured(ctx).build_trace(ctx, config)
+    def plan_signature(self) -> dict:
+        """Static identity only — the tuned pipeline is dataset-dependent."""
+        return {"lowering": "outer-product", "passes": "tuned-per-dataset"}

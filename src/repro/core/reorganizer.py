@@ -6,35 +6,35 @@ rows → merge.  Every stage can be toggled independently (the Figure 10
 ablation); with all three off, the trace degenerates to the outer-product
 baseline's fixed-size blocks.
 
-Numeric plane: genuinely executes the pipeline — dominator columns are
-physically split through the mapper array (so the tests can verify the
-paper's "same results as the original vector pairs" claim), gathered and
-normal pairs expand as usual, and a single coalescing merge produces C.
+The class is a thin front over :mod:`repro.plan.passes`: lowering builds the
+outer-product baseline plan and pushes it through a pass pipeline derived
+from :class:`ReorganizerOptions` (see :func:`plan_pipeline`).  Each pass
+rewrites both planes at once — the numeric kernels (dominator columns are
+physically split through the mapper array, so the tests can verify the
+paper's "same results as the original vector pairs" claim) and the thread
+block descriptors the simulator consumes.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-
-import numpy as np
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
-from repro.gpusim.block import BlockArrayBuilder
-from repro.gpusim.config import GPUConfig
-from repro.gpusim.host import device_precalc_cycles, host_split_seconds
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
-from repro.core.classify import classify_pairs
-from repro.core.gathering import plan_gathering
-from repro.core.limiting import limited_row_mask, limiting_smem_bytes
-from repro.core.splitting import plan_splitting, split_csc_columns
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_outer
-from repro.spgemm.merge import merge_triplets
-from repro.spgemm.traceutil import merge_blocks, outer_pair_blocks
 
-__all__ = ["ReorganizerOptions", "BlockReorganizer"]
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.gpusim.config import GPUConfig
+    from repro.plan.ir import ExecutionPlan
+    from repro.plan.passes import PlanPass
+
+__all__ = [
+    "ReorganizerOptions",
+    "BlockReorganizer",
+    "plan_pipeline",
+    "options_from_pipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -71,6 +71,77 @@ class ReorganizerOptions:
             raise ConfigurationError("max_threads must be a positive multiple of 32")
 
 
+def plan_pipeline(options: ReorganizerOptions) -> list["PlanPass"]:
+    """The pass pipeline an option set denotes.
+
+    ClassifyPass always leads (it publishes the pair classification the
+    technique passes consume); each enabled technique appends its pass.
+    Dropping a technique simply drops its pass — the Figure 10 ablation.
+    """
+    # Imported lazily: repro.plan.passes imports this package at module
+    # scope, so a top-level import here would close an import cycle.
+    from repro.plan.passes import ClassifyPass, GatherPass, LimitPass, SplitPass
+
+    passes: list[PlanPass] = [
+        ClassifyPass(
+            alpha=options.alpha,
+            max_threads=options.max_threads,
+            baseline_threads=options.baseline_threads,
+        )
+    ]
+    if options.enable_splitting:
+        passes.append(
+            SplitPass(
+                splitting_factor=options.splitting_factor,
+                max_threads=options.max_threads,
+            )
+        )
+    if options.enable_gathering:
+        passes.append(GatherPass())
+    if options.enable_limiting:
+        passes.append(
+            LimitPass(beta=options.beta, limiting_factor=options.limiting_factor)
+        )
+    return passes
+
+
+def options_from_pipeline(passes: Sequence["PlanPass"]) -> ReorganizerOptions:
+    """Inverse of :func:`plan_pipeline`.
+
+    Reconstructs the option set a pipeline came from.  Parameters of
+    *disabled* techniques are unrecoverable (the pass that carried them is
+    absent) and come back at their dataclass defaults — the round trip is
+    exact whenever disabled techniques kept their defaults, which is how
+    every ablation in the repo is expressed.
+    """
+    from repro.plan.passes import ClassifyPass, GatherPass, LimitPass, SplitPass
+
+    if not passes or not isinstance(passes[0], ClassifyPass):
+        raise ConfigurationError("pipeline must start with ClassifyPass")
+    classify = passes[0]
+    kwargs: dict = {
+        "enable_splitting": False,
+        "enable_gathering": False,
+        "enable_limiting": False,
+        "alpha": classify.alpha,
+        "max_threads": classify.max_threads,
+        "baseline_threads": classify.baseline_threads,
+    }
+    for p in passes[1:]:
+        if isinstance(p, SplitPass):
+            kwargs["enable_splitting"] = True
+            kwargs["splitting_factor"] = p.splitting_factor
+        elif isinstance(p, GatherPass):
+            kwargs["enable_gathering"] = True
+        elif isinstance(p, LimitPass):
+            kwargs["enable_limiting"] = True
+            kwargs["beta"] = p.beta
+            kwargs["limiting_factor"] = p.limiting_factor
+        else:
+            raise ConfigurationError(f"unknown reorganizer pass: {p!r}")
+    return ReorganizerOptions(**kwargs)
+
+
 class BlockReorganizer(SpGEMMAlgorithm):
     """Outer-product spGEMM optimised with B-Splitting/Gathering/Limiting."""
 
@@ -86,181 +157,29 @@ class BlockReorganizer(SpGEMMAlgorithm):
         fp["options"] = dataclasses.asdict(self.options)
         return fp
 
-    # ------------------------------------------------------------------
-    # Numeric plane
-    # ------------------------------------------------------------------
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Execute the pipeline numerically (split structures included)."""
-        opts = self.options
-        na = ctx.a_csc.col_nnz()
-        nb = ctx.b_csr.row_nnz()
-        classes = classify_pairs(ctx.pair_work, nb, alpha=opts.alpha)
+    def pipeline(self) -> list["PlanPass"]:
+        """The pass pipeline this instance lowers through."""
+        return plan_pipeline(self.options)
 
-        parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-        rest_mask = ~classes.dominator
-        if opts.enable_splitting and classes.n_dominators:
-            plan = plan_splitting(na, nb, classes.dominator, n_sms=30,
-                                  factor_override=opts.splitting_factor)
-            a_split, mapper = split_csc_columns(ctx.a_csc, plan)
-            parts.append(_expand_with_mapper(a_split, mapper, ctx))
-        else:
-            rest_mask = np.ones_like(classes.dominator)
-
-        rows, cols, vals = expand_outer(ctx.a_csc, ctx.b_csr)
-        if not rest_mask.all():
-            keep = np.repeat(rest_mask, ctx.pair_work)
-            rows, cols, vals = rows[keep], cols[keep], vals[keep]
-        parts.append((rows, cols, vals))
-
-        all_rows = np.concatenate([p[0] for p in parts])
-        all_cols = np.concatenate([p[1] for p in parts])
-        all_vals = np.concatenate([p[2] for p in parts])
-        return merge_triplets(all_rows, all_cols, all_vals, ctx.out_shape)
-
-    # ------------------------------------------------------------------
-    # Performance plane
-    # ------------------------------------------------------------------
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Build the reorganised kernel phases for ``config``."""
-        opts = self.options
-        costs = self.costs
-        na = ctx.a_csc.col_nnz()
-        nb = ctx.b_csr.row_nnz()
-        classes = classify_pairs(ctx.pair_work, nb, alpha=opts.alpha)
-
-        phases: list[KernelPhase] = []
-        host_seconds = 0.0  # classification runs on the device (Section V)
-        meta: dict = {
-            "n_dominators": classes.n_dominators,
-            "n_underloaded": classes.n_underloaded,
-            "n_normal": classes.n_normal,
-            "dominator_threshold": classes.threshold,
+    def plan_signature(self) -> dict:
+        """Lowering identity: baseline scheme plus the pass pipeline."""
+        return {
+            "lowering": "outer-product",
+            "passes": [p.signature() for p in self.pipeline()],
         }
 
-        # --- expansion: dominators -----------------------------------
-        if classes.n_dominators:
-            if opts.enable_splitting:
-                plan = plan_splitting(
-                    na, nb, classes.dominator, config.n_sms,
-                    factor_override=opts.splitting_factor,
-                )
-                factor_of_block = np.repeat(
-                    plan.factors, plan.factors
-                ).astype(np.float64)
-                blocks = outer_pair_blocks(
-                    plan.na, plan.nb, costs,
-                    max_threads=opts.max_threads,
-                    extra_unique_bytes=8.0,  # mapper-array lookup per block
-                    shared_b_fraction=1.0 - 1.0 / factor_of_block,
-                )
-                host_seconds += host_split_seconds(costs, plan.split_entries)
-                meta["n_split_blocks"] = plan.n_blocks
-                meta["split_factors"] = plan.factors.tolist()[:16]
-            else:
-                blocks = outer_pair_blocks(
-                    na[classes.dominator], nb[classes.dominator], costs,
-                    fixed_threads=opts.baseline_threads,
-                )
-            phases.append(KernelPhase("expansion-dominator", PHASE_EXPANSION, blocks))
+    def lower(self, ctx: MultiplyContext, config: "GPUConfig") -> "ExecutionPlan":
+        """Baseline outer-product plan pushed through the pass pipeline."""
+        # Lazy for the same cycle reason as plan_pipeline: the spgemm package
+        # initialises outerproduct after base, and loading it can re-enter
+        # this module via repro.plan.passes.
+        from repro.spgemm.outerproduct import OuterProductSpGEMM
 
-        # --- expansion: normal ----------------------------------------
-        if classes.n_normal:
-            blocks = outer_pair_blocks(
-                na[classes.normal], nb[classes.normal], costs,
-                max_threads=opts.max_threads,
-            )
-            phases.append(KernelPhase("expansion-normal", PHASE_EXPANSION, blocks))
-
-        # --- expansion: underloaded ------------------------------------
-        if classes.n_underloaded:
-            if opts.enable_gathering:
-                plan = plan_gathering(na, nb, classes.underloaded)
-                blocks = _gathered_blocks(plan, costs)
-                meta["n_gathered_blocks"] = plan.n_blocks
-            else:
-                blocks = outer_pair_blocks(
-                    na[classes.underloaded], nb[classes.underloaded], costs,
-                    fixed_threads=opts.baseline_threads,
-                )
-            phases.append(KernelPhase("expansion-gathered", PHASE_EXPANSION, blocks))
-
-        # --- merge ------------------------------------------------------
-        if opts.enable_limiting:
-            mask = limited_row_mask(ctx.row_work, beta=opts.beta)
-            meta["n_limited_rows"] = int(np.count_nonzero(mask))
-            if mask.any():
-                smem = limiting_smem_bytes(4096, opts.limiting_factor, config.smem_per_sm)
-                heavy = merge_blocks(
-                    ctx.row_work, ctx.c_row_nnz, costs, row_mask=mask, smem_bytes=smem
-                )
-                phases.append(KernelPhase("merge-limited", PHASE_MERGE, heavy))
-            light = merge_blocks(ctx.row_work, ctx.c_row_nnz, costs, row_mask=~mask)
-            phases.append(KernelPhase("merge", PHASE_MERGE, light))
-        else:
-            phases.append(
-                KernelPhase(
-                    "merge", PHASE_MERGE, merge_blocks(ctx.row_work, ctx.c_row_nnz, costs)
-                )
-            )
-
-        return KernelTrace(
-            algorithm=self.name,
-            phases=phases,
-            host_seconds=host_seconds,
-            device_setup_cycles=device_precalc_cycles(
-                costs, ctx.a_csr.nnz, ctx.b_csr.nnz, extra_elements=len(na)
-            ),
-            meta=meta,
+        baseline = OuterProductSpGEMM(
+            self.costs, fixed_block_size=self.options.baseline_threads
         )
-
-
-def _expand_with_mapper(a_split, mapper: np.ndarray, ctx: MultiplyContext):
-    """Expand split columns against the b-rows their mapper points at."""
-    na = a_split.col_nnz()
-    nb = ctx.b_csr.row_nnz()[mapper]
-    counts = na * nb
-    total = int(counts.sum())
-    if total == 0:
-        z = np.zeros(0, dtype=np.int64)
-        return z, z.copy(), np.zeros(0, dtype=np.float64)
-    seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    starts = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    nb_per = nb[seg_of]
-    a_pos = offsets // np.maximum(nb_per, 1)
-    b_pos = offsets % np.maximum(nb_per, 1)
-    a_idx = a_split.indptr[seg_of] + a_pos
-    b_idx = ctx.b_csr.indptr[mapper[seg_of]] + b_pos
-    rows = a_split.indices[a_idx]
-    cols = ctx.b_csr.indices[b_idx]
-    vals = a_split.data[a_idx] * ctx.b_csr.data[b_idx]
-    return rows, cols, vals
-
-
-def _gathered_blocks(plan, costs):
-    """Trace blocks for combined (gathered) micro-blocks."""
-    builder = BlockArrayBuilder()
-    if plan.n_blocks == 0:
-        return builder.build()
-    bpe = costs.bytes_per_entry
-    unique = (plan.na_sum + plan.nb_sum) * bpe
-    reuse = plan.ops * 8.0
-    writes = plan.ops * bpe
-    # Partitions stream disjoint (but individually sequential) vectors, so a
-    # combined block's traffic is the sum of its micro-blocks' traffic plus a
-    # sector of slack per partition: gathering amortises launch, issue and
-    # latency — not bandwidth.
-    transactions = (unique + writes) / 32.0 + plan.partitions
-    builder.add_blocks(
-        threads=32,
-        effective_threads=plan.effective_threads,
-        iters=plan.iters,
-        ops=plan.ops,
-        unique_bytes=unique,
-        reuse_bytes=reuse,
-        write_bytes=writes,
-        smem_bytes=1024,
-        working_set=unique,
-        transactions=transactions,
-    )
-    return builder.build()
+        plan = baseline.lower(ctx, config)
+        plan.algorithm = self.name
+        for p in self.pipeline():
+            plan = p.run(plan, ctx, config, self.costs)
+        return plan

@@ -31,6 +31,12 @@ class ConfigurationError(ReproError):
     """An algorithm or simulator option is out of its valid range."""
 
 
+class PlanError(ReproError):
+    """An :class:`~repro.plan.ir.ExecutionPlan` is malformed or its numeric
+    kernels are inconsistent with its block descriptors (a phase emitted a
+    different number of products than its blocks account for)."""
+
+
 class FingerprintError(ReproError):
     """A bench-cell component cannot be content-addressed (stateful scheme,
     non-serialisable parameter), so its results must bypass the result cache."""

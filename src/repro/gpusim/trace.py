@@ -74,4 +74,8 @@ class KernelTrace:
 
     def total_ops(self) -> int:
         """Useful products across all expansion phases (for GFLOPS)."""
-        return sum(p.blocks.total_ops for p in self.phases if p.stage == PHASE_EXPANSION)
+        return self.stage_ops(PHASE_EXPANSION)
+
+    def stage_ops(self, stage: str) -> int:
+        """Block-accounted ops across every phase tagged ``stage``."""
+        return sum(p.blocks.total_ops for p in self.phases if p.stage == stage)

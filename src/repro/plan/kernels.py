@@ -1,0 +1,107 @@
+"""Numeric kernels for plan phases.
+
+Each factory returns a closure ``kernel(state) -> int`` suitable for a
+:class:`~repro.plan.ir.PlanPhase`.  Kernels are vectorised end to end: subset
+kernels reuse the :class:`~repro.plan.ir.NumericState`'s lazily cached
+canonical expansion and pay only a mask application, so a plan that expands
+pairs class by class costs one expansion total, exactly like the monolithic
+numeric paths it replaced.
+
+Emission-order contract: kernels emit triplets in the same relative order the
+pre-IR numeric paths did within each group (pair order for outer-product
+kernels, row order for row-product kernels).  The merge is a stable sort, so
+within-coordinate summation order — and hence the float64 result — follows
+emission order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only
+    from repro.plan.ir import NumericState
+
+__all__ = [
+    "expand_outer_kernel",
+    "expand_row_kernel",
+    "expand_outer_pairs_kernel",
+    "expand_row_subset_kernel",
+    "sort_pending_kernel",
+    "coalesce_kernel",
+]
+
+Kernel = Callable[["NumericState"], int]
+
+
+def expand_outer_kernel() -> Kernel:
+    """Full outer-product expansion: every pair, in pair order."""
+
+    def kernel(state: NumericState) -> int:
+        rows, cols, vals = state.outer_expansion()
+        return state.emit(rows, cols, vals)
+
+    return kernel
+
+
+def expand_row_kernel() -> Kernel:
+    """Full row-product (Gustavson) expansion: every row, in row order."""
+
+    def kernel(state: NumericState) -> int:
+        rows, cols, vals = state.row_expansion()
+        return state.emit(rows, cols, vals)
+
+    return kernel
+
+
+def expand_outer_pairs_kernel(pair_mask: np.ndarray) -> Kernel:
+    """Outer-product expansion restricted to the masked column/row pairs."""
+    pair_mask = np.asarray(pair_mask, dtype=bool)
+
+    def kernel(state: NumericState) -> int:
+        rows, cols, vals = state.outer_expansion()
+        keep = np.repeat(pair_mask, state.ctx.pair_work)
+        return state.emit(rows[keep], cols[keep], vals[keep])
+
+    return kernel
+
+
+def expand_row_subset_kernel(row_mask: np.ndarray) -> Kernel:
+    """Row-product expansion restricted to the masked output rows."""
+    row_mask = np.asarray(row_mask, dtype=bool)
+
+    def kernel(state: NumericState) -> int:
+        rows, cols, vals = state.row_expansion()
+        keep = row_mask[rows]
+        return state.emit(rows[keep], cols[keep], vals[keep])
+
+    return kernel
+
+
+def sort_pending_kernel() -> Kernel:
+    """Stable coordinate sort of the emitted stream (ESC's sort step)."""
+
+    def kernel(state: NumericState) -> int:
+        return state.sort_pending()
+
+    return kernel
+
+
+def coalesce_kernel(row_mask: np.ndarray | None = None) -> Kernel:
+    """Coalesce the emitted stream into C.
+
+    The numeric merge is one global coalesce (idempotent across merge
+    phases); ``row_mask`` only scopes the *reported* op count to the
+    triplets landing in the masked output rows, mirroring how B-Limiting
+    splits the merge launch without changing its result.
+    """
+    row_mask = None if row_mask is None else np.asarray(row_mask, dtype=bool)
+
+    def kernel(state: NumericState) -> int:
+        rows = state.pending()[0]
+        ops = len(rows) if row_mask is None else int(np.count_nonzero(row_mask[rows]))
+        state.coalesce()
+        return ops
+
+    return kernel

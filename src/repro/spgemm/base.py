@@ -4,11 +4,16 @@
 formats the kernels read, plus the precalculated workload vectors the paper's
 Section IV-B computes).  An algorithm then offers:
 
-* ``multiply(ctx)`` — the numeric plane: compute C exactly, using the
-  scheme's own expansion order.
-* ``build_trace(ctx, config)`` — the performance plane: the thread blocks the
-  scheme would launch, for the simulator.
+* ``lower(ctx, config)`` — the one scheme-specific hook: lower the problem
+  to an :class:`~repro.plan.ir.ExecutionPlan`, whose phases carry both the
+  thread-block descriptors and the numeric kernels.
+* ``multiply(ctx)`` — the numeric plane: a thin executor over the plan.
+* ``build_trace(ctx, config)`` — the performance plane: the plan's device
+  phases projected onto a :class:`~repro.gpusim.trace.KernelTrace`.
 * ``run(ctx, simulator)`` — both, conveniently.
+
+Because both planes derive from one plan, the trace describes exactly the
+work the numeric plane performs — the executor enforces it per phase.
 """
 
 from __future__ import annotations
@@ -17,11 +22,12 @@ import abc
 import dataclasses
 from dataclasses import dataclass
 from functools import cached_property
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import FingerprintError
-from repro.gpusim.config import GPUConfig
+from repro.gpusim.config import TITAN_XP, GPUConfig
 from repro.gpusim.costs import DEFAULT_COSTS, CostModel
 from repro.gpusim.simulator import GPUSimulator
 from repro.gpusim.stats import KernelStats
@@ -30,9 +36,18 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import check_multipliable
 from repro.spgemm.expansion import expand_outer
-from repro.spgemm.merge import merge_triplets, row_nnz_of_triplets
+from repro.spgemm.merge import merge_triplets
 
-__all__ = ["MultiplyContext", "SpGEMMAlgorithm"]
+if TYPE_CHECKING:  # pragma: no cover - type-only; plan imports stay lazy here
+    from repro.plan.ir import ExecutionPlan, PhaseExecution
+
+__all__ = ["DEFAULT_LOWERING_CONFIG", "MultiplyContext", "SpGEMMAlgorithm"]
+
+#: Target used when lowering for the numeric plane alone.  The numeric result
+#: must not depend on the simulated GPU; the only lowering decision that reads
+#: the config on the numeric side is B-Splitting's factor choice (via
+#: ``n_sms``), pinned here to the paper's primary system for determinism.
+DEFAULT_LOWERING_CONFIG = TITAN_XP
 
 
 @dataclass
@@ -88,11 +103,14 @@ class MultiplyContext:
 
     @cached_property
     def c_row_nnz(self) -> np.ndarray:
-        """Unique output coordinates per row (the symbolic multiply)."""
-        if "reference_c" in self.__dict__:
-            return self.reference_c.row_nnz()
-        rows, cols, _ = expand_outer(self.a_csc, self.b_csr)
-        return row_nnz_of_triplets(rows, cols, self.out_shape)
+        """Unique output coordinates per row (the symbolic multiply).
+
+        Derived from :attr:`reference_c`, so the context performs exactly one
+        outer expansion no matter which of the two is requested first (the
+        merge keeps explicit zeros, so stored-entry counts equal unique
+        coordinate counts).
+        """
+        return self.reference_c.row_nnz()
 
     @property
     def out_shape(self) -> tuple[int, int]:
@@ -132,15 +150,41 @@ class SpGEMMAlgorithm(abc.ABC):
             "class": type(self).__name__,
             "name": self.name,
             "costs": dataclasses.asdict(self.costs),
+            "plan": self.plan_signature(),
         }
 
-    @abc.abstractmethod
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Compute ``A @ B`` exactly, using this scheme's expansion order."""
+    def plan_signature(self) -> dict:
+        """JSON-able identity of the scheme's lowering pipeline.
+
+        Folded into :meth:`fingerprint` so a reorganised pass pipeline (or a
+        new lowering) orphans cached bench cells.  Schemes composed of plan
+        passes extend the ``passes`` list with each pass's ``signature()``.
+        """
+        return {"lowering": type(self).__name__, "passes": []}
 
     @abc.abstractmethod
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Lower this problem to an :class:`~repro.plan.ir.ExecutionPlan`.
+
+        The single scheme-specific hook: the returned plan carries both the
+        thread blocks launched on ``config`` and the numeric kernels that
+        perform the same work.
+        """
+
+    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
+        """Compute ``A @ B`` exactly, by executing the plan's kernels."""
+        return self.lower(ctx, DEFAULT_LOWERING_CONFIG).execute(ctx)
+
     def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
         """Describe the thread blocks this scheme launches on ``config``."""
+        return self.lower(ctx, config).to_trace()
+
+    def profile_plan(
+        self, ctx: MultiplyContext, config: GPUConfig | None = None
+    ) -> tuple[CSRMatrix, list[PhaseExecution]]:
+        """Numeric execution with per-phase instrumentation records."""
+        plan = self.lower(ctx, config if config is not None else DEFAULT_LOWERING_CONFIG)
+        return plan.execute_instrumented(ctx)
 
     def run(
         self, ctx: MultiplyContext, simulator: GPUSimulator

@@ -14,11 +14,10 @@ import numpy as np
 
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.host import device_precalc_cycles
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_row_subset_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_row
-from repro.spgemm.merge import merge_triplets
 from repro.spgemm.traceutil import ceil_div, group_by_budget
 from repro.gpusim.block import BlockArrayBuilder
 
@@ -36,17 +35,17 @@ class BhSparseSpGEMM(SpGEMMAlgorithm):
     #: heap-insertion instruction cost per product.
     merge_instr_scale = 8.0
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: row-ordered expansion + coalesce."""
-        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """One fused expand+merge kernel per row bin.
 
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """One fused expand+merge kernel per row bin."""
+        Each bin's kernel expands exactly the rows that fall in its bound
+        range (every output row lands in one bin, so per-bin row-subset
+        expansion reproduces the full row-ordered expansion bit for bit).
+        """
         work = ctx.row_work
         u = ctx.c_row_nnz
         bpe = self.costs.bytes_per_entry
-        phases: list[KernelPhase] = []
+        phases: list[PlanPhase] = []
 
         edges = (0,) + _BIN_EDGES + (np.iinfo(np.int64).max,)
         for lo, hi in zip(edges[:-1], edges[1:]):
@@ -82,7 +81,12 @@ class BhSparseSpGEMM(SpGEMMAlgorithm):
                 transactions=kk * bpe / 32.0 * 3.4,
             )
             phases.append(
-                KernelPhase(f"bin<= {hi if hi < 1 << 60 else 'inf'}", PHASE_EXPANSION, builder.build())
+                PlanPhase(
+                    f"bin<= {hi if hi < 1 << 60 else 'inf'}",
+                    PHASE_EXPANSION,
+                    builder.build(),
+                    kernel=expand_row_subset_kernel(mask),
+                )
             )
 
         # Merge bookkeeping pass (bhSPARSE re-allocates and compacts rows).
@@ -102,9 +106,9 @@ class BhSparseSpGEMM(SpGEMMAlgorithm):
                 working_set=np.full(n_blocks, 4096.0 * bpe),
                 transactions=elems * bpe / 16.0,
             )
-        phases.append(KernelPhase("compact", PHASE_MERGE, compact.build()))
+        phases.append(PlanPhase("compact", PHASE_MERGE, compact.build(), kernel=coalesce_kernel()))
 
-        return KernelTrace(
+        return ExecutionPlan(
             algorithm=self.name,
             phases=phases,
             device_setup_cycles=device_precalc_cycles(

@@ -14,11 +14,10 @@ import numpy as np
 
 from repro.gpusim.block import BlockArrayBuilder
 from repro.gpusim.config import GPUConfig
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_row_kernel, sort_pending_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_row
-from repro.spgemm.merge import merge_triplets
 from repro.spgemm.traceutil import ceil_div
 
 __all__ = ["CuspSpGEMM"]
@@ -58,25 +57,33 @@ class CuspSpGEMM(SpGEMMAlgorithm):
 
     name = "cusp"
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: expansion + (sort-based) coalesce — ESC is exactly
-        our numeric merge, so this is the one scheme whose numeric path
-        matches its performance model one-to-one."""
-        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Balanced expansion, radix-sort passes, segmented compression.
 
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Balanced expansion, radix-sort passes, segmented compression."""
+        ESC is exactly our numeric merge, so this is the one scheme whose
+        numeric path matches its performance model one-to-one: the sort phase
+        genuinely (stably) sorts the triplet stream and the compress phase
+        coalesces it.
+        """
         t = ctx.total_work
         expansion = _flat_blocks(t, _COO_BYTES, rw_factor=1.0, instr=2.0)
         sort_blocks = _flat_blocks(t, _COO_BYTES, rw_factor=2.0 * _RADIX_PASSES, instr=4.0)
         compress = _flat_blocks(t, _COO_BYTES, rw_factor=1.0, instr=1.5)
-        return KernelTrace(
+        return ExecutionPlan(
             algorithm=self.name,
             phases=[
-                KernelPhase("expand", PHASE_EXPANSION, expansion),
-                KernelPhase("sort", PHASE_MERGE, sort_blocks),
-                KernelPhase("compress", PHASE_MERGE, compress),
+                PlanPhase(
+                    "expand", PHASE_EXPANSION, expansion,
+                    kernel=expand_row_kernel(),
+                ),
+                PlanPhase(
+                    "sort", PHASE_MERGE, sort_blocks,
+                    kernel=sort_pending_kernel(),
+                ),
+                PlanPhase(
+                    "compress", PHASE_MERGE, compress,
+                    kernel=coalesce_kernel(),
+                ),
             ],
             meta={"total_work": t},
         )

@@ -12,11 +12,10 @@ real-world sets).
 from __future__ import annotations
 
 from repro.gpusim.config import GPUConfig
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_row_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_row
-from repro.spgemm.merge import merge_triplets
 from repro.spgemm.traceutil import row_chunk_blocks
 
 __all__ = ["CuSparseSpGEMM"]
@@ -32,14 +31,13 @@ class CuSparseSpGEMM(SpGEMMAlgorithm):
     #: traffic amplification from global hash tables (probe chains + spills).
     hash_traffic_scale = 2.2
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: row-ordered expansion + coalesce (hash semantics
-        produce the same values; insertion order only affects timing)."""
-        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Symbolic pass + numeric pass, both warp-per-row.
 
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Symbolic pass + numeric pass, both warp-per-row."""
+        Numerically, the symbolic pass walks (and emits) every product in row
+        order and the numeric pass accumulates them — hash semantics produce
+        the same values; insertion order only affects timing.
+        """
         a_row_nnz = ctx.a_csr.row_nnz()
 
         def _pass(scale: float):
@@ -56,12 +54,18 @@ class CuSparseSpGEMM(SpGEMMAlgorithm):
         # Symbolic pass: counts only (no value traffic) but walks everything.
         symbolic = _pass(self.hash_instr_scale * 0.6)
         numeric = _pass(self.hash_instr_scale)
-        return KernelTrace(
+        return ExecutionPlan(
             algorithm=self.name,
             phases=[
-                KernelPhase("symbolic", PHASE_EXPANSION, symbolic),
-                KernelPhase("numeric", PHASE_MERGE, numeric,
-                            instr_override=self.costs.instr_per_product * self.hash_instr_scale),
+                PlanPhase(
+                    "symbolic", PHASE_EXPANSION, symbolic,
+                    kernel=expand_row_kernel(),
+                ),
+                PlanPhase(
+                    "numeric", PHASE_MERGE, numeric,
+                    kernel=coalesce_kernel(),
+                    instr_override=self.costs.instr_per_product * self.hash_instr_scale,
+                ),
             ],
             meta={"total_work": ctx.total_work},
         )

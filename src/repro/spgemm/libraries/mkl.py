@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.gpusim.block import BlockArray
 from repro.gpusim.config import CPUConfig, GPUConfig, XEON_E5_2640V4
 from repro.gpusim.simulator import GPUSimulator
 from repro.gpusim.stats import KernelStats, PhaseStats
-from repro.gpusim.trace import KernelTrace
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_row_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_row
-from repro.spgemm.merge import merge_triplets
 
 __all__ = ["MklSpGEMM"]
 
@@ -40,11 +40,6 @@ class MklSpGEMM(SpGEMMAlgorithm):
         super().__init__(*args, **kwargs)
         self.cpu = cpu
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: row-ordered (Gustavson) expansion + coalesce."""
-        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
-
     def cpu_seconds(self, ctx: MultiplyContext) -> float:
         """Analytic execution time on the configured host CPU."""
         t = ctx.total_work
@@ -55,11 +50,28 @@ class MklSpGEMM(SpGEMMAlgorithm):
         straggler = heaviest * self.cycles_per_product / self.cpu.clock_hz
         return max(compute, memory, straggler) + self.parallel_overhead_s
 
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """CPU scheme: the trace is empty, with all time on the host."""
-        return KernelTrace(
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Host-only plan: Gustavson expansion + coalesce on the CPU.
+
+        Both phases are ``device=False`` with empty block arrays, so
+        ``to_trace`` yields an empty trace with all time in ``host_seconds``
+        while the numeric kernels still run row-ordered expand + merge.
+        """
+        empty = BlockArray.empty()
+        return ExecutionPlan(
             algorithm=self.name,
-            phases=[],
+            phases=[
+                PlanPhase(
+                    "cpu-expand", PHASE_EXPANSION, empty,
+                    kernel=expand_row_kernel(),
+                    device=False,
+                ),
+                PlanPhase(
+                    "cpu-merge", PHASE_MERGE, empty,
+                    kernel=coalesce_kernel(),
+                    device=False,
+                ),
+            ],
             host_seconds=self.cpu_seconds(ctx),
             meta={"cpu": self.cpu.name, "total_work": ctx.total_work},
         )

@@ -15,11 +15,10 @@ import numpy as np
 
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.host import device_precalc_cycles
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_outer_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_outer
-from repro.spgemm.merge import merge_triplets
 from repro.spgemm.traceutil import merge_blocks, outer_pair_blocks
 
 __all__ = ["OuterProductSpGEMM"]
@@ -34,13 +33,8 @@ class OuterProductSpGEMM(SpGEMMAlgorithm):
         super().__init__(*args, **kwargs)
         self.fixed_block_size = fixed_block_size
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: expand by pair, then coalesce."""
-        rows, cols, vals = expand_outer(ctx.a_csc, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
-
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Performance plane: one fixed-size block per non-empty pair."""
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """One fixed-size block per non-empty pair; pair-order expansion."""
         na = ctx.a_csc.col_nnz()
         nb = ctx.b_csr.row_nnz()
         nonempty = (na > 0) & (nb > 0)
@@ -51,11 +45,14 @@ class OuterProductSpGEMM(SpGEMMAlgorithm):
             fixed_threads=self.fixed_block_size,
         )
         merge = merge_blocks(ctx.row_work, ctx.c_row_nnz, self.costs, row_form=False)
-        return KernelTrace(
+        return ExecutionPlan(
             algorithm=self.name,
             phases=[
-                KernelPhase("expansion", PHASE_EXPANSION, expansion),
-                KernelPhase("merge", PHASE_MERGE, merge),
+                PlanPhase(
+                    "expansion", PHASE_EXPANSION, expansion,
+                    kernel=expand_outer_kernel(),
+                ),
+                PlanPhase("merge", PHASE_MERGE, merge, kernel=coalesce_kernel()),
             ],
             device_setup_cycles=device_precalc_cycles(
                 self.costs, ctx.a_csr.nnz, ctx.b_csr.nnz

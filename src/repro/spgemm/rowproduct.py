@@ -11,11 +11,10 @@ results to this baseline.
 from __future__ import annotations
 
 from repro.gpusim.config import GPUConfig
-from repro.gpusim.trace import KernelPhase, KernelTrace, PHASE_EXPANSION, PHASE_MERGE
-from repro.sparse.csr import CSRMatrix
+from repro.gpusim.trace import PHASE_EXPANSION, PHASE_MERGE
+from repro.plan.ir import ExecutionPlan, PlanPhase
+from repro.plan.kernels import coalesce_kernel, expand_row_kernel
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
-from repro.spgemm.expansion import expand_row
-from repro.spgemm.merge import merge_triplets
 from repro.spgemm.traceutil import entry_chunk_blocks, merge_blocks
 
 __all__ = ["RowProductSpGEMM"]
@@ -30,13 +29,8 @@ class RowProductSpGEMM(SpGEMMAlgorithm):
         super().__init__(*args, **kwargs)
         self.block_threads = block_threads
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Numeric plane: expand by output row, then coalesce."""
-        rows, cols, vals = expand_row(ctx.a_csr, ctx.b_csr)
-        return merge_triplets(rows, cols, vals, ctx.out_shape)
-
-    def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
-        """Performance plane: thread-per-A-entry blocks + row-form merge."""
+    def lower(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """Thread-per-A-entry blocks + row-form merge; row-order expansion."""
         entry_work = self.ctx_entry_work(ctx)
         expansion = entry_chunk_blocks(
             entry_work,
@@ -45,14 +39,18 @@ class RowProductSpGEMM(SpGEMMAlgorithm):
             instr_scale=self.costs.row_exp_instr_scale,
         )
         merge = merge_blocks(ctx.row_work, ctx.c_row_nnz, self.costs, row_form=True)
-        return KernelTrace(
+        return ExecutionPlan(
             algorithm=self.name,
             phases=[
-                KernelPhase("expansion", PHASE_EXPANSION, expansion),
-                KernelPhase(
+                PlanPhase(
+                    "expansion", PHASE_EXPANSION, expansion,
+                    kernel=expand_row_kernel(),
+                ),
+                PlanPhase(
                     "merge",
                     PHASE_MERGE,
                     merge,
+                    kernel=coalesce_kernel(),
                     instr_override=self.costs.instr_per_merge_elem_row,
                 ),
             ],

@@ -56,6 +56,25 @@ class TestContext:
         with pytest.raises(ShapeMismatchError):
             MultiplyContext.build(square_csr, small_csr)
 
+    def test_single_expansion_for_symbolic_and_numeric(self, square_csr, monkeypatch):
+        """``c_row_nnz`` before ``reference_c`` must not expand twice: the
+        symbolic counts derive from the cached reference product."""
+        import repro.spgemm.base as base
+
+        calls = []
+        real = base.expand_outer
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(base, "expand_outer", counting)
+        ctx = MultiplyContext.build(square_csr)
+        ctx.c_row_nnz
+        ctx.reference_c
+        ctx.nnz_c
+        assert len(calls) == 1
+
 
 class TestReference:
     def test_against_dense(self, square_csr):
@@ -103,6 +122,13 @@ class TestEveryAlgorithm:
             return
         total = trace.total_ops()
         assert total >= ctx.total_work * 0.99  # binning may double-count a little
+
+    def test_planes_are_shared_executors(self, algo_cls):
+        """Schemes customise ``lower`` only; both planes run through the
+        shared plan executors in the base class."""
+        assert "multiply" not in algo_cls.__dict__
+        assert "build_trace" not in algo_cls.__dict__
+        assert "lower" in algo_cls.__dict__
 
 
 class TestTraceShapes:

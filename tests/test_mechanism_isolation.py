@@ -135,7 +135,7 @@ class TestTechniqueMechanismBinding:
         launch amortisation + issue/latency packing: with those costs off,
         the aggregate advantage shrinks."""
         from repro.core.gathering import plan_gathering
-        from repro.core.reorganizer import _gathered_blocks
+        from repro.plan.passes import gathered_blocks
         from repro.spgemm.traceutil import outer_pair_blocks
 
         rng = np.random.default_rng(5)
@@ -149,7 +149,7 @@ class TestTechniqueMechanismBinding:
         ):
             sim = GPUSimulator(TITAN_XP, costs)
             micro = outer_pair_blocks(na, nb, costs, fixed_threads=256)
-            gathered = _gathered_blocks(plan_gathering(na, nb, mask), costs)
+            gathered = gathered_blocks(plan_gathering(na, nb, mask), costs)
             t_micro = sim.block_durations("expansion", micro).sum() / 240.0
             t_gather = sim.block_durations("expansion", gathered).sum() / 960.0
             gains[label] = t_micro / max(t_gather, 1e-12)

@@ -1,0 +1,206 @@
+"""ExecutionPlan IR mechanics, the executor's consistency invariant, and the
+reorganizer's pass-pipeline round trip."""
+
+import numpy as np
+import pytest
+
+from repro.core.reorganizer import (
+    BlockReorganizer,
+    ReorganizerOptions,
+    options_from_pipeline,
+    plan_pipeline,
+)
+from repro.errors import ConfigurationError, PlanError
+from repro.gpusim.block import BlockArray
+from repro.gpusim.config import TITAN_XP
+from repro.gpusim.simulator import GPUSimulator
+from repro.plan.ir import ExecutionPlan, NumericState, PlanPhase
+from repro.plan.passes import ClassifyPass, GatherPass, LimitPass, SplitPass
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.libraries import MklSpGEMM
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+
+
+@pytest.fixture
+def ctx(square_csr):
+    return MultiplyContext.build(square_csr)
+
+
+@pytest.fixture
+def skewed_ctx(skewed_csr):
+    return MultiplyContext.build(skewed_csr)
+
+
+class TestPlanPhase:
+    def test_rejects_unknown_stage(self):
+        with pytest.raises(PlanError):
+            PlanPhase("bogus", "transmogrify", BlockArray.empty())
+
+
+class TestExecutionPlanStructure:
+    def test_phase_lookup(self, ctx):
+        plan = OuterProductSpGEMM().lower(ctx, TITAN_XP)
+        assert plan.phase("expansion").stage == "expansion"
+        with pytest.raises(PlanError):
+            plan.phase("nonexistent")
+
+    def test_replace_phase_splices(self, ctx):
+        plan = OuterProductSpGEMM().lower(ctx, TITAN_XP)
+        merge = plan.phase("merge")
+        a = PlanPhase("merge-a", "merge", merge.blocks, kernel=merge.kernel)
+        b = PlanPhase("merge-b", "merge", BlockArray.empty())
+        plan.replace_phase("merge", a, b)
+        assert [p.name for p in plan.phases] == ["expansion", "merge-a", "merge-b"]
+        with pytest.raises(PlanError):
+            plan.replace_phase("merge", a)
+
+    def test_shape_digest_reflects_structure(self, ctx):
+        algo = OuterProductSpGEMM()
+        plan = algo.lower(ctx, TITAN_XP)
+        again = algo.lower(ctx, TITAN_XP)
+        assert plan.shape_digest() == again.shape_digest()
+        again.replace_phase("merge")  # drop the merge phase entirely
+        assert plan.shape_digest() != again.shape_digest()
+
+    def test_trace_carries_plan_shape(self, ctx):
+        plan = OuterProductSpGEMM().lower(ctx, TITAN_XP)
+        trace = plan.to_trace()
+        assert trace.meta["plan_shape"] == plan.shape_digest()
+
+    def test_plan_shape_reaches_simulated_stats(self, ctx):
+        stats = OuterProductSpGEMM().simulate(ctx, GPUSimulator(TITAN_XP))
+        assert "plan_shape" in stats.meta
+
+
+class TestExecutorInvariant:
+    def test_underemitting_kernel_raises(self, ctx):
+        plan = OuterProductSpGEMM().lower(ctx, TITAN_XP)
+        plan.phase("expansion").kernel = lambda state: 0  # emits nothing
+        with pytest.raises(PlanError):
+            plan.execute(ctx)
+
+    def test_tampered_blocks_raise(self, ctx):
+        plan = OuterProductSpGEMM().lower(ctx, TITAN_XP)
+        exp = plan.phase("expansion")
+        exp.blocks = exp.blocks.select(np.arange(len(exp.blocks)) < len(exp.blocks) - 1)
+        with pytest.raises(PlanError):
+            plan.execute(ctx)
+
+    def test_instrumented_execution_records_all_phases(self, ctx):
+        result, records = OuterProductSpGEMM().profile_plan(ctx)
+        assert result.allclose(ctx.reference_c)
+        assert [r.name for r in records] == ["expansion", "merge"]
+        assert records[0].ops == ctx.total_work
+        assert all(r.seconds >= 0.0 for r in records)
+
+
+class TestHostPlans:
+    def test_mkl_phases_are_host_side(self, ctx):
+        plan = MklSpGEMM().lower(ctx, TITAN_XP)
+        assert all(not p.device for p in plan.phases)
+        assert plan.total_ops() == 0  # device ops only
+        trace = plan.to_trace()
+        assert trace.phases == []
+        assert trace.host_seconds > 0
+        assert plan.execute(ctx).allclose(ctx.reference_c)
+
+
+OPTION_SETS = [
+    ReorganizerOptions(),
+    ReorganizerOptions(enable_splitting=False),
+    ReorganizerOptions(enable_gathering=False),
+    ReorganizerOptions(enable_limiting=False),
+    ReorganizerOptions(
+        enable_splitting=False, enable_gathering=False, enable_limiting=False
+    ),
+    ReorganizerOptions(alpha=0.3, beta=5.0, splitting_factor=4, limiting_factor=2),
+    ReorganizerOptions(max_threads=128, baseline_threads=512),
+]
+
+
+class TestPassPipeline:
+    @pytest.mark.parametrize("options", OPTION_SETS)
+    def test_options_round_trip(self, options):
+        assert options_from_pipeline(plan_pipeline(options)) == options
+
+    @pytest.mark.parametrize("options", OPTION_SETS)
+    def test_round_trip_preserves_fingerprint(self, options):
+        original = BlockReorganizer(options=options)
+        rebuilt = BlockReorganizer(
+            options=options_from_pipeline(plan_pipeline(options))
+        )
+        assert rebuilt.fingerprint() == original.fingerprint()
+
+    def test_pipeline_shape_matches_options(self):
+        passes = plan_pipeline(ReorganizerOptions(enable_gathering=False))
+        assert [type(p) for p in passes] == [ClassifyPass, SplitPass, LimitPass]
+        assert isinstance(plan_pipeline(ReorganizerOptions())[2], GatherPass)
+
+    def test_rejects_headless_pipeline(self):
+        with pytest.raises(ConfigurationError):
+            options_from_pipeline([GatherPass()])
+
+    def test_ablation_is_pass_removal(self, skewed_ctx):
+        """Dropping a pass yields the same plan as disabling its option."""
+        full = BlockReorganizer(options=ReorganizerOptions())
+        ablated = BlockReorganizer(options=ReorganizerOptions(enable_splitting=False))
+        assert len(full.pipeline()) == len(ablated.pipeline()) + 1
+        assert (
+            full.lower(skewed_ctx, TITAN_XP).shape_digest()
+            != ablated.lower(skewed_ctx, TITAN_XP).shape_digest()
+        )
+
+    def test_plan_signature_lists_passes(self):
+        sig = BlockReorganizer(options=ReorganizerOptions()).plan_signature()
+        assert sig["lowering"] == "outer-product"
+        assert [p["pass"] for p in sig["passes"]] == [
+            "classify", "split", "gather", "limit",
+        ]
+
+    def test_technique_pass_requires_classification(self, skewed_ctx):
+        plan = OuterProductSpGEMM().lower(skewed_ctx, TITAN_XP)
+        with pytest.raises(PlanError):
+            GatherPass().run(plan, skewed_ctx, TITAN_XP, OuterProductSpGEMM().costs)
+
+
+class TestCustomPass:
+    def test_external_pass_composes(self, skewed_ctx):
+        """A pass defined outside the repo's pipeline slots straight in."""
+
+        class TagPass:
+            def signature(self):
+                return {"pass": "tag"}
+
+            def run(self, plan, ctx, config, costs):
+                plan.meta["tagged"] = True
+                return plan
+
+        algo = BlockReorganizer()
+        plan = algo.lower(skewed_ctx, TITAN_XP)
+        plan = TagPass().run(plan, skewed_ctx, TITAN_XP, algo.costs)
+        assert plan.meta["tagged"] is True
+        assert plan.execute(skewed_ctx).allclose(skewed_ctx.reference_c)
+
+
+class TestNumericState:
+    def test_expansions_cached(self, ctx):
+        state = NumericState(ctx)
+        assert state.outer_expansion() is state.outer_expansion()
+        assert state.row_expansion() is state.row_expansion()
+
+    def test_sort_then_coalesce_matches_direct(self, ctx):
+        direct = NumericState(ctx)
+        direct.emit(*direct.row_expansion())
+        sorted_state = NumericState(ctx)
+        sorted_state.emit(*sorted_state.row_expansion())
+        sorted_state.sort_pending()
+        a = direct.coalesce()
+        b = sorted_state.coalesce()
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.data, b.data)
+
+    def test_empty_plan_coalesces_to_empty(self, ctx):
+        plan = ExecutionPlan(algorithm="noop")
+        c = plan.execute(ctx)
+        assert c.nnz == 0

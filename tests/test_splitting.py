@@ -78,12 +78,15 @@ class TestNumericSplitting:
             pytest.skip("no dominators in this draw")
         na = ctx.a_csc.col_nnz()
         plan = plan_splitting(na, nb, classes.dominator, n_sms=30)
-        a_split, mapper = split_csc_columns(ctx.a_csc, plan)
 
-        # Expand split blocks through the mapper.
-        from repro.core.reorganizer import _expand_with_mapper
+        # Expand split blocks through the mapper (the numeric kernel the
+        # SplitPass attaches to the dominator phase).
+        from repro.plan.ir import NumericState
+        from repro.plan.passes import expand_split_kernel
 
-        rows_s, cols_s, vals_s = _expand_with_mapper(a_split, mapper, ctx)
+        state = NumericState(ctx)
+        expand_split_kernel(plan)(state)
+        rows_s, cols_s, vals_s = state.pending()
 
         # Expand the original dominator pairs directly.
         rows_o, cols_o, vals_o = expand_outer(ctx.a_csc, ctx.b_csr)
