@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sparse.csr import CSRMatrix
-from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
+from repro.spgemm.base import SpGEMMAlgorithm
+from repro.spgemm.session import IterativeSession
 
 __all__ = ["WalkCounts", "k_hop_walks", "k_hop_reachability", "recommend_by_paths"]
 
@@ -35,35 +36,45 @@ class WalkCounts:
         return self.hops[hop - 1]
 
 
-def k_hop_walks(adjacency: CSRMatrix, k: int, engine: SpGEMMAlgorithm) -> WalkCounts:
-    """Walk-count matrices ``A, A^2, ..., A^k`` via chained spGEMM."""
+def k_hop_walks(
+    adjacency: CSRMatrix, k: int, engine: SpGEMMAlgorithm | IterativeSession
+) -> WalkCounts:
+    """Walk-count matrices ``A, A^2, ..., A^k`` via chained spGEMM.
+
+    The left operand densifies every hop, so each product has a new
+    structure; a session-held plan cache still pays off when several calls
+    share the adjacency (or when walk counts saturate early).
+    """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
+    session = IterativeSession.wrap(engine)
     hops = [adjacency]
     current = adjacency
     for _ in range(k - 1):
-        ctx = MultiplyContext.build(current, adjacency)
-        current = engine.multiply(ctx)
+        current = session.multiply(current, adjacency)
         hops.append(current)
     return WalkCounts(hops)
 
 
 def k_hop_reachability(
-    adjacency: CSRMatrix, k: int, engine: SpGEMMAlgorithm
+    adjacency: CSRMatrix, k: int, engine: SpGEMMAlgorithm | IterativeSession
 ) -> CSRMatrix:
     """Boolean k-hop reachability: which nodes are within <= k hops.
 
     Walk counts are clamped to 1 after every hop (a boolean semiring
     emulated over the numeric engine), keeping intermediate densities — and
-    hence spGEMM cost — bounded.
+    hence spGEMM cost — bounded.  Once the frontier's support stops growing
+    (reachability saturates), every further hop is a structure hit and runs
+    as a numeric replay.
     """
     if k < 1:
         raise ConfigurationError(f"k must be >= 1, got {k}")
-    reach = _booleanize(adjacency)
+    session = IterativeSession.wrap(engine)
+    bool_adjacency = _booleanize(adjacency)
+    reach = bool_adjacency
     frontier = reach
     for _ in range(k - 1):
-        ctx = MultiplyContext.build(frontier, _booleanize(adjacency))
-        frontier = _booleanize(engine.multiply(ctx))
+        frontier = _booleanize(session.multiply(frontier, bool_adjacency))
         from repro.sparse.ops import add
 
         reach = _booleanize(add(reach, frontier))
@@ -73,7 +84,7 @@ def k_hop_reachability(
 def recommend_by_paths(
     adjacency: CSRMatrix,
     user: int,
-    engine: SpGEMMAlgorithm,
+    engine: SpGEMMAlgorithm | IterativeSession,
     *,
     n_recommendations: int = 5,
 ) -> list[tuple[int, float]]:

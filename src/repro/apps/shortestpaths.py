@@ -13,7 +13,9 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import check_multipliable
-from repro.spgemm.semiring import MIN_PLUS, semiring_spgemm
+from repro.plan.cache import PlanCache
+from repro.spgemm.semiring import MIN_PLUS
+from repro.spgemm.session import IterativeSession
 
 __all__ = ["k_hop_shortest_paths", "single_source_distances"]
 
@@ -44,12 +46,18 @@ def _with_zero_diagonal(w: CSRMatrix) -> CSRMatrix:
     return out
 
 
-def k_hop_shortest_paths(weights: CSRMatrix, k: int) -> CSRMatrix:
+def k_hop_shortest_paths(
+    weights: CSRMatrix, k: int, *, session: IterativeSession | None = None
+) -> CSRMatrix:
     """Cheapest path costs using at most ``k`` edges (stored entries only).
 
     Args:
         weights: non-negative edge weights; absent entries mean no edge.
         k: maximum number of edges per path (k >= 1).
+        session: optional :class:`~repro.spgemm.session.IterativeSession`;
+            the distance matrix's structure stabilises once all <= k-hop
+            pairs are discovered, after which each relaxation is a structure
+            hit replaying only the (min, +) numeric phase.
 
     Returns:
         CSR matrix whose entry (i, j) is the min-cost i->j path of <= k
@@ -62,16 +70,23 @@ def k_hop_shortest_paths(weights: CSRMatrix, k: int) -> CSRMatrix:
     check_multipliable(weights.shape, weights.shape)
     step = _with_zero_diagonal(weights)
     dist = step
+    cache = session.cache if session is not None else PlanCache()
     for _ in range(k - 1):
-        dist = semiring_spgemm(dist, step, MIN_PLUS)
+        dist = cache.semiring_multiply(dist, step, MIN_PLUS)
     return dist
 
 
-def single_source_distances(weights: CSRMatrix, source: int, k: int) -> np.ndarray:
+def single_source_distances(
+    weights: CSRMatrix,
+    source: int,
+    k: int,
+    *,
+    session: IterativeSession | None = None,
+) -> np.ndarray:
     """Distances from ``source`` using at most ``k`` edges (inf = unreached)."""
     if not 0 <= source < weights.n_rows:
         raise ConfigurationError(f"source {source} out of range")
-    dist = k_hop_shortest_paths(weights, k)
+    dist = k_hop_shortest_paths(weights, k, session=session)
     out = np.full(weights.n_cols, np.inf)
     cols, vals = dist.row(source)
     out[cols] = vals

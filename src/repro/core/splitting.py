@@ -23,7 +23,13 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sparse.csc import CSCMatrix
 
-__all__ = ["SplitPlan", "choose_split_factors", "plan_splitting", "split_csc_columns"]
+__all__ = [
+    "SplitPlan",
+    "choose_split_factors",
+    "plan_splitting",
+    "split_csc_columns",
+    "split_source_indices",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +125,42 @@ def plan_splitting(
     )
 
 
+def split_source_indices(
+    a_csc: CSCMatrix, plan: SplitPlan
+) -> tuple[np.ndarray, np.ndarray]:
+    """Structure of A': split-column pointers and source-entry gather array.
+
+    Returns ``(indptr, src)`` where ``indptr`` is the split matrix's column
+    pointer array (one column per split block) and ``src`` maps every entry
+    of A' to the stored entry of ``a_csc`` it is copied from.  This is the
+    symbolic half of :func:`split_csc_columns`; the plan cache records
+    ``src`` so numeric replay can gather fresh dominator values without
+    re-materialising A'.
+    """
+    n_split = plan.n_blocks
+    if n_split == 0:
+        return np.zeros(1, dtype=np.int64), np.zeros(0, dtype=np.int64)
+
+    # Source ranges: walk each dominator's column, carving consecutive chunks
+    # of plan.na entries.
+    indptr = np.zeros(n_split + 1, dtype=np.int64)
+    np.cumsum(plan.na, out=indptr[1:])
+    total = int(indptr[-1])
+
+    # Per split block, its offset within its dominator column.
+    first_of_pair = np.ones(n_split, dtype=bool)
+    first_of_pair[1:] = plan.pair_ids[1:] != plan.pair_ids[:-1]
+    running = np.cumsum(plan.na) - plan.na
+    pair_base = np.where(first_of_pair, running, 0)
+    pair_base = np.maximum.accumulate(pair_base)
+    block_starts_in_pair = running - pair_base
+
+    src_col_start = a_csc.indptr[plan.pair_ids]
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(running, plan.na)
+    src = np.repeat(src_col_start + block_starts_in_pair, plan.na) + offsets
+    return indptr, src
+
+
 def split_csc_columns(
     a_csc: CSCMatrix, plan: SplitPlan
 ) -> tuple[CSCMatrix, np.ndarray]:
@@ -135,31 +177,11 @@ def split_csc_columns(
     if n_split == 0:
         return CSCMatrix.empty((a_csc.n_rows, 0)), mapper
 
-    # Source ranges: walk each dominator's column, carving consecutive chunks
-    # of plan.na entries.
-    indptr = np.zeros(n_split + 1, dtype=np.int64)
-    np.cumsum(plan.na, out=indptr[1:])
-    total = int(indptr[-1])
-
-    # Per split block, its offset within its dominator column.
-    first_of_pair = np.ones(n_split, dtype=bool)
-    first_of_pair[1:] = plan.pair_ids[1:] != plan.pair_ids[:-1]
-    block_starts_in_pair = np.zeros(n_split, dtype=np.int64)
-    running = np.cumsum(plan.na) - plan.na
-    pair_base = np.where(first_of_pair, running, 0)
-    pair_base = np.maximum.accumulate(pair_base)
-    block_starts_in_pair = running - pair_base
-
-    src_col_start = a_csc.indptr[plan.pair_ids]
-    seg_of = np.repeat(np.arange(n_split, dtype=np.int64), plan.na)
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(running, plan.na)
-    src = np.repeat(src_col_start + block_starts_in_pair, plan.na) + offsets
-
+    indptr, src = split_source_indices(a_csc, plan)
     split = CSCMatrix(
         (a_csc.n_rows, n_split),
         indptr,
         a_csc.indices[src],
         a_csc.data[src],
     )
-    del seg_of
     return split, mapper

@@ -2,15 +2,23 @@
 
 from repro.metrics.gflops import FLOPS_PER_PRODUCT, gflops
 from repro.metrics.lbi import load_balancing_index
-from repro.metrics.planprof import PlanProfile, PlanStageProfile, plan_profile
+from repro.metrics.planprof import (
+    PlanCacheStats,
+    PlanProfile,
+    PlanStageProfile,
+    format_cache_stats,
+    plan_profile,
+)
 from repro.metrics.profiling import ProfileReport, StageProfile, profile_report
 
 __all__ = [
     "FLOPS_PER_PRODUCT",
     "gflops",
     "load_balancing_index",
+    "PlanCacheStats",
     "PlanProfile",
     "PlanStageProfile",
+    "format_cache_stats",
     "plan_profile",
     "ProfileReport",
     "StageProfile",

@@ -6,6 +6,10 @@ executes a lowered :class:`~repro.plan.ir.ExecutionPlan` numerically and
 records one :class:`~repro.plan.ir.PhaseExecution` per phase (op counts,
 wall time, descriptor-accounted bytes); :func:`plan_profile` folds those into
 per-stage totals so the two planes can be compared phase for phase.
+
+The plan cache's amortisation counters (:class:`PlanCacheStats`, re-exported
+from :mod:`repro.plan.cache`) also surface here: :func:`format_cache_stats`
+renders them for ``repro run --iterations`` and the iterative bench.
 """
 
 from __future__ import annotations
@@ -13,9 +17,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.plan.cache import PlanCacheStats
 from repro.plan.ir import PhaseExecution
 
-__all__ = ["PlanStageProfile", "PlanProfile", "plan_profile"]
+__all__ = [
+    "PlanStageProfile",
+    "PlanProfile",
+    "plan_profile",
+    "PlanCacheStats",
+    "format_cache_stats",
+]
+
+
+def format_cache_stats(stats: PlanCacheStats) -> str:
+    """One-line human-readable rendering of plan-cache counters."""
+    return (
+        f"plan cache: {stats.lookups} lookups, {stats.hits} hits "
+        f"({stats.hit_rate:.0%}), {stats.lowers} lowerings, "
+        f"{stats.symbolic_expansions} symbolic expansions, "
+        f"{stats.numeric_replays} numeric replays"
+    )
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,13 @@ two planes stay consistent by construction.  Reorganisation techniques are
 :class:`~repro.plan.passes.PlanPass` transformations over plans.
 """
 
+from repro.plan.cache import (
+    NumericRecipe,
+    PlanCache,
+    PlanCacheStats,
+    SemiringRecipe,
+    structure_fingerprint,
+)
 from repro.plan.ir import ExecutionPlan, NumericState, PhaseExecution, PlanPhase
 from repro.plan.kernels import (
     coalesce_kernel,
@@ -29,6 +36,11 @@ from repro.plan.passes import (
 from repro.plan.show import format_executions, format_plan
 
 __all__ = [
+    "PlanCache",
+    "PlanCacheStats",
+    "NumericRecipe",
+    "SemiringRecipe",
+    "structure_fingerprint",
     "ExecutionPlan",
     "NumericState",
     "PhaseExecution",

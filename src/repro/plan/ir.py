@@ -63,36 +63,118 @@ class NumericState:
     the coalesced result the merge kernels produce.  The two canonical
     expansions are computed lazily and cached, so several phases that each
     expand a *subset* of pairs or rows share one vectorised expansion.
+
+    With ``track_provenance=True`` the state additionally records, per
+    emitted triplet, which stored entry of ``A`` and of ``B`` produced it
+    (in ``a_csr``/``b_csr`` entry positions) and keeps the merge's
+    :class:`~repro.spgemm.merge.MergeRecipe` — everything
+    :mod:`repro.plan.cache` needs to replay the numeric plane on new values
+    with the same sparsity structure without re-running any symbolic work.
     """
 
-    def __init__(self, ctx: MultiplyContext) -> None:
+    def __init__(self, ctx: MultiplyContext, *, track_provenance: bool = False) -> None:
         self.ctx = ctx
+        self.track_provenance = track_provenance
+        #: False once any kernel emits without provenance; the capture layer
+        #: then refuses to build a replay recipe from this execution.
+        self.provenance_complete = track_provenance
         self._parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._prov: list[tuple[np.ndarray, np.ndarray]] = []
         self._outer: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
         self._row: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._outer_src: tuple[np.ndarray, np.ndarray] | None = None
+        self._row_src: tuple[np.ndarray, np.ndarray] | None = None
+        self._csc_to_csr: np.ndarray | None = None
+        self.merge_recipe = None  # set by coalesce() when tracking
         self.result: CSRMatrix | None = None
 
     # -- lazy canonical expansions -------------------------------------
     def outer_expansion(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """C-hat triplets in outer-product (pair) order, computed once."""
         if self._outer is None:
-            from repro.spgemm.expansion import expand_outer
+            from repro.spgemm.expansion import expand_outer, expand_outer_indices
 
-            self._outer = expand_outer(self.ctx.a_csc, self.ctx.b_csr)
+            if self.track_provenance:
+                rows, cols, a_idx, b_idx = expand_outer_indices(
+                    self.ctx.a_csc, self.ctx.b_csr
+                )
+                self._outer = (
+                    rows, cols, self.ctx.a_csc.data[a_idx] * self.ctx.b_csr.data[b_idx]
+                )
+                self._outer_src = (self._csc_positions_to_csr(a_idx), b_idx)
+            else:
+                self._outer = expand_outer(self.ctx.a_csc, self.ctx.b_csr)
         return self._outer
 
     def row_expansion(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """C-hat triplets in row-product (Gustavson) order, computed once."""
         if self._row is None:
-            from repro.spgemm.expansion import expand_row
+            from repro.spgemm.expansion import expand_row, expand_row_indices
 
-            self._row = expand_row(self.ctx.a_csr, self.ctx.b_csr)
+            if self.track_provenance:
+                rows, cols, a_idx, b_idx = expand_row_indices(
+                    self.ctx.a_csr, self.ctx.b_csr
+                )
+                self._row = (
+                    rows, cols, self.ctx.a_csr.data[a_idx] * self.ctx.b_csr.data[b_idx]
+                )
+                self._row_src = (a_idx, b_idx)
+            else:
+                self._row = expand_row(self.ctx.a_csr, self.ctx.b_csr)
         return self._row
 
+    # -- provenance ----------------------------------------------------
+    def _csc_positions_to_csr(self, csc_idx: np.ndarray) -> np.ndarray:
+        """Map stored-entry positions of ``a_csc`` to positions of ``a_csr``.
+
+        Canonical formats have one stored entry per coordinate, so the map is
+        the stable column sort :func:`~repro.sparse.convert.csr_to_csc`
+        performs — a pure function of the structure, computed once.
+        """
+        if self._csc_to_csr is None:
+            self._csc_to_csr = np.argsort(self.ctx.a_csr.indices, kind="stable")
+        return self._csc_to_csr[csc_idx]
+
+    def outer_sources(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Provenance of the outer expansion (csr-space), or ``(None, None)``."""
+        if not self.track_provenance:
+            return None, None
+        self.outer_expansion()
+        return self._outer_src
+
+    def row_sources(self) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Provenance of the row expansion (csr-space), or ``(None, None)``."""
+        if not self.track_provenance:
+            return None, None
+        self.row_expansion()
+        return self._row_src
+
     # -- triplet stream ------------------------------------------------
-    def emit(self, rows: np.ndarray, cols: np.ndarray, vals: np.ndarray) -> int:
-        """Append expanded triplets to the stream; returns how many."""
+    def emit(
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        *,
+        a_src: np.ndarray | None = None,
+        b_src: np.ndarray | None = None,
+        a_space: str = "csr",
+    ) -> int:
+        """Append expanded triplets to the stream; returns how many.
+
+        ``a_src``/``b_src`` give each triplet's producing stored entry of
+        ``A``/``B`` (``a_space`` names the A entry ordering, ``"csr"`` or
+        ``"csc"``); they are recorded only when provenance tracking is on,
+        and an emission without them marks the capture incomplete.
+        """
         self._parts.append((rows, cols, vals))
+        if self.track_provenance:
+            if a_src is None or b_src is None:
+                self.provenance_complete = False
+            elif self.provenance_complete:
+                if a_space == "csc":
+                    a_src = self._csc_positions_to_csr(a_src)
+                self._prov.append((a_src, b_src))
         return len(rows)
 
     @property
@@ -112,6 +194,19 @@ class NumericState:
             self._parts = [merged]  # type: ignore[list-item]
         return self._parts[0]
 
+    def provenance(self) -> tuple[np.ndarray, np.ndarray] | None:
+        """The stream's ``(a_src, b_src)`` in emission order, if complete."""
+        if not (self.track_provenance and self.provenance_complete):
+            return None
+        if not self._prov:
+            zi = np.zeros(0, dtype=np.int64)
+            return zi, zi.copy()
+        if len(self._prov) > 1:
+            self._prov = [tuple(
+                np.concatenate([part[i] for part in self._prov]) for i in range(2)
+            )]  # type: ignore[list-item]
+        return self._prov[0]
+
     def sort_pending(self) -> int:
         """Stably sort the stream by output coordinate (ESC's sort step).
 
@@ -124,15 +219,25 @@ class NumericState:
         keys = rows.astype(np.int64) * np.int64(self.ctx.out_shape[1]) + cols
         order = np.argsort(keys, kind="stable")
         self._parts = [(rows[order], cols[order], vals[order])]
+        prov = self.provenance()
+        if prov is not None and len(prov[0]):
+            self._prov = [(prov[0][order], prov[1][order])]
         return len(rows)
 
     def coalesce(self) -> CSRMatrix:
         """Merge the emitted stream into canonical CSR (idempotent)."""
         if self.result is None:
-            from repro.spgemm.merge import merge_triplets
+            from repro.sparse.csr import CSRMatrix
+            from repro.spgemm.merge import plan_merge
 
             rows, cols, vals = self.pending()
-            self.result = merge_triplets(rows, cols, vals, self.ctx.out_shape)
+            if len(rows) == 0:
+                self.result = CSRMatrix.empty(self.ctx.out_shape)
+            else:
+                recipe = plan_merge(rows, cols, self.ctx.out_shape)
+                self.result = recipe.apply(vals)
+                if self.track_provenance:
+                    self.merge_recipe = recipe
         return self.result
 
 
@@ -212,6 +317,7 @@ class ExecutionPlan:
     # -- structure -----------------------------------------------------
     @property
     def n_blocks(self) -> int:
+        """Total thread blocks across every phase."""
         return sum(len(p.blocks) for p in self.phases)
 
     def total_ops(self) -> int:
@@ -286,14 +392,17 @@ class ExecutionPlan:
         return self.execute_instrumented(ctx)[0]
 
     def execute_instrumented(
-        self, ctx: MultiplyContext
+        self, ctx: MultiplyContext, state: NumericState | None = None
     ) -> tuple[CSRMatrix, list[PhaseExecution]]:
         """Numeric execution with per-phase instrumentation records.
 
         Enforces the IR's core invariant: a device expansion phase's kernel
-        must emit exactly ``blocks.total_ops`` products.
+        must emit exactly ``blocks.total_ops`` products.  An externally built
+        ``state`` (e.g. one tracking provenance for the plan cache) may be
+        supplied; it must wrap the same ``ctx``.
         """
-        state = NumericState(ctx)
+        if state is None:
+            state = NumericState(ctx)
         records: list[PhaseExecution] = []
         for phase in self.phases:
             before = state.emitted

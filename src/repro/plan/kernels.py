@@ -40,7 +40,8 @@ def expand_outer_kernel() -> Kernel:
 
     def kernel(state: NumericState) -> int:
         rows, cols, vals = state.outer_expansion()
-        return state.emit(rows, cols, vals)
+        a_src, b_src = state.outer_sources()
+        return state.emit(rows, cols, vals, a_src=a_src, b_src=b_src)
 
     return kernel
 
@@ -50,7 +51,8 @@ def expand_row_kernel() -> Kernel:
 
     def kernel(state: NumericState) -> int:
         rows, cols, vals = state.row_expansion()
-        return state.emit(rows, cols, vals)
+        a_src, b_src = state.row_sources()
+        return state.emit(rows, cols, vals, a_src=a_src, b_src=b_src)
 
     return kernel
 
@@ -61,8 +63,13 @@ def expand_outer_pairs_kernel(pair_mask: np.ndarray) -> Kernel:
 
     def kernel(state: NumericState) -> int:
         rows, cols, vals = state.outer_expansion()
+        a_src, b_src = state.outer_sources()
         keep = np.repeat(pair_mask, state.ctx.pair_work)
-        return state.emit(rows[keep], cols[keep], vals[keep])
+        return state.emit(
+            rows[keep], cols[keep], vals[keep],
+            a_src=None if a_src is None else a_src[keep],
+            b_src=None if b_src is None else b_src[keep],
+        )
 
     return kernel
 
@@ -73,8 +80,13 @@ def expand_row_subset_kernel(row_mask: np.ndarray) -> Kernel:
 
     def kernel(state: NumericState) -> int:
         rows, cols, vals = state.row_expansion()
+        a_src, b_src = state.row_sources()
         keep = row_mask[rows]
-        return state.emit(rows[keep], cols[keep], vals[keep])
+        return state.emit(
+            rows[keep], cols[keep], vals[keep],
+            a_src=None if a_src is None else a_src[keep],
+            b_src=None if b_src is None else b_src[keep],
+        )
 
     return kernel
 

@@ -34,7 +34,12 @@ import numpy as np
 from repro.core.classify import classify_pairs
 from repro.core.gathering import plan_gathering
 from repro.core.limiting import limited_row_mask, limiting_smem_bytes
-from repro.core.splitting import SplitPlan, plan_splitting, split_csc_columns
+from repro.core.splitting import (
+    SplitPlan,
+    plan_splitting,
+    split_csc_columns,
+    split_source_indices,
+)
 from repro.errors import PlanError
 from repro.gpusim.block import BlockArray, BlockArrayBuilder
 from repro.gpusim.host import device_precalc_cycles, host_split_seconds
@@ -106,6 +111,7 @@ class ClassifyPass:
     baseline_threads: int = 256
 
     def signature(self) -> dict:
+        """Identity: the classification thresholds and block sizes."""
         return {
             "pass": "classify",
             "alpha": self.alpha,
@@ -114,6 +120,7 @@ class ClassifyPass:
         }
 
     def run(self, plan, ctx, config, costs) -> ExecutionPlan:
+        """Split the expansion phase by block class and annotate the plan."""
         na = ctx.a_csc.col_nnz()
         nb = ctx.b_csr.row_nnz()
         classes = classify_pairs(ctx.pair_work, nb, alpha=self.alpha)
@@ -182,7 +189,10 @@ def expand_split_kernel(splan: SplitPlan) -> Kernel:
         total = int(counts.sum())
         if total == 0:
             z = np.zeros(0, dtype=np.int64)
-            return state.emit(z, z.copy(), np.zeros(0, dtype=np.float64))
+            return state.emit(
+                z, z.copy(), np.zeros(0, dtype=np.float64),
+                a_src=z.copy(), b_src=z.copy(), a_space="csc",
+            )
         seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
         starts = np.cumsum(counts) - counts
         offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
@@ -194,6 +204,13 @@ def expand_split_kernel(splan: SplitPlan) -> Kernel:
         rows = a_split.indices[a_idx]
         cols = state.ctx.b_csr.indices[b_idx]
         vals = a_split.data[a_idx] * state.ctx.b_csr.data[b_idx]
+        if state.track_provenance:
+            # Entries of A' are copies of a_csc entries; compose the split's
+            # gather with the expansion's so provenance lands in a_csc space.
+            _, src = split_source_indices(state.ctx.a_csc, splan)
+            return state.emit(
+                rows, cols, vals, a_src=src[a_idx], b_src=b_idx, a_space="csc"
+            )
         return state.emit(rows, cols, vals)
 
     return kernel
@@ -207,6 +224,7 @@ class SplitPass:
     max_threads: int = 256
 
     def signature(self) -> dict:
+        """Identity: the splitting factor and block size."""
         return {
             "pass": "split",
             "splitting_factor": self.splitting_factor,
@@ -214,6 +232,7 @@ class SplitPass:
         }
 
     def run(self, plan, ctx, config, costs) -> ExecutionPlan:
+        """Replace the dominator expansion phase with split sub-blocks."""
         classes = _classes(plan, "SplitPass")
         if not classes.n_dominators:
             return plan
@@ -281,9 +300,11 @@ class GatherPass:
     """
 
     def signature(self) -> dict:
+        """Identity: gathering takes no parameters."""
         return {"pass": "gather"}
 
     def run(self, plan, ctx, config, costs) -> ExecutionPlan:
+        """Pack underloaded expansion blocks into full warps."""
         classes = _classes(plan, "GatherPass")
         if not classes.n_underloaded:
             return plan
@@ -308,6 +329,7 @@ class LimitPass:
     limiting_factor: int = 4
 
     def signature(self) -> dict:
+        """Identity: the beta threshold and limiting factor."""
         return {
             "pass": "limit",
             "beta": self.beta,
@@ -315,6 +337,7 @@ class LimitPass:
         }
 
     def run(self, plan, ctx, config, costs) -> ExecutionPlan:
+        """Cap merge-block residency on heavy rows via shared-memory padding."""
         mask = limited_row_mask(ctx.row_work, beta=self.beta)
         plan.meta["n_limited_rows"] = int(np.count_nonzero(mask))
         replacements: list[PlanPhase] = []

@@ -2,7 +2,8 @@
 
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
 from repro.spgemm.expansion import expand_outer, expand_row
-from repro.spgemm.merge import merge_triplets, row_nnz_of_triplets
+from repro.spgemm.merge import MergeRecipe, merge_triplets, plan_merge, row_nnz_of_triplets
+from repro.spgemm.session import IterativeSession
 from repro.spgemm.outerproduct import OuterProductSpGEMM
 from repro.spgemm.reference import reference_spgemm
 from repro.spgemm.rowproduct import RowProductSpGEMM
@@ -18,8 +19,11 @@ from repro.spgemm.semiring import (
 __all__ = [
     "MultiplyContext",
     "SpGEMMAlgorithm",
+    "IterativeSession",
     "expand_outer",
     "expand_row",
+    "MergeRecipe",
+    "plan_merge",
     "merge_triplets",
     "row_nnz_of_triplets",
     "OuterProductSpGEMM",

@@ -39,6 +39,7 @@ from repro.spgemm.expansion import expand_outer
 from repro.spgemm.merge import merge_triplets
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; plan imports stay lazy here
+    from repro.plan.cache import PlanCache
     from repro.plan.ir import ExecutionPlan, PhaseExecution
 
 __all__ = ["DEFAULT_LOWERING_CONFIG", "MultiplyContext", "SpGEMMAlgorithm"]
@@ -171,8 +172,17 @@ class SpGEMMAlgorithm(abc.ABC):
         perform the same work.
         """
 
-    def multiply(self, ctx: MultiplyContext) -> CSRMatrix:
-        """Compute ``A @ B`` exactly, by executing the plan's kernels."""
+    def multiply(
+        self, ctx: MultiplyContext, *, plan_cache: "PlanCache | None" = None
+    ) -> CSRMatrix:
+        """Compute ``A @ B`` exactly, by executing the plan's kernels.
+
+        With a :class:`~repro.plan.cache.PlanCache`, a repeat multiply whose
+        operands have a previously seen sparsity structure skips lowering and
+        all symbolic work, replaying only the numeric phase (bit-identical).
+        """
+        if plan_cache is not None:
+            return plan_cache.multiply(self, ctx.a_csr, ctx.b_csr, ctx=ctx)
         return self.lower(ctx, DEFAULT_LOWERING_CONFIG).execute(ctx)
 
     def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:

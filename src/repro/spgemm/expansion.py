@@ -21,7 +21,12 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import check_multipliable
 
-__all__ = ["expand_outer", "expand_row"]
+__all__ = [
+    "expand_outer",
+    "expand_outer_indices",
+    "expand_row",
+    "expand_row_indices",
+]
 
 
 def _segment_offsets(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -34,12 +39,16 @@ def _segment_offsets(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return seg_of, offsets
 
 
-def expand_outer(a_csc: CSCMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Outer-product expansion of ``A @ B``.
+def expand_outer_indices(
+    a_csc: CSCMatrix, b_csr: CSRMatrix
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Symbolic outer-product expansion of ``A @ B``.
 
-    Returns ``(rows, cols, vals)`` of C-hat, ordered by pair ``k`` then by
-    (position in a-column, position in b-row) — the order an outer-product
-    kernel would emit.
+    Returns ``(rows, cols, a_idx, b_idx)`` in the same pair order as
+    :func:`expand_outer`, where ``a_idx``/``b_idx`` index the stored entries
+    of ``a_csc``/``b_csr`` whose product lands at each coordinate — the
+    value-provenance arrays iterative replay caches so that new operand
+    values reuse the expansion structure without recomputing it.
     """
     check_multipliable(a_csc.shape, b_csr.shape)
     na = a_csc.col_nnz()
@@ -53,18 +62,29 @@ def expand_outer(a_csc: CSCMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.nda
 
     a_idx = a_csc.indptr[pair_of] + a_pos
     b_idx = b_csr.indptr[pair_of] + b_pos
-    rows = a_csc.indices[a_idx]
-    cols = b_csr.indices[b_idx]
-    vals = a_csc.data[a_idx] * b_csr.data[b_idx]
-    return rows, cols, vals
+    return a_csc.indices[a_idx], b_csr.indices[b_idx], a_idx, b_idx
 
 
-def expand_row(a_csr: CSRMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Row-product (Gustavson) expansion of ``A @ B``.
+def expand_outer(a_csc: CSCMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Outer-product expansion of ``A @ B``.
 
-    Returns ``(rows, cols, vals)`` of C-hat, ordered by output row then by
-    the a-entry within the row then by the b-entry — the order a row-product
+    Returns ``(rows, cols, vals)`` of C-hat, ordered by pair ``k`` then by
+    (position in a-column, position in b-row) — the order an outer-product
     kernel would emit.
+    """
+    rows, cols, a_idx, b_idx = expand_outer_indices(a_csc, b_csr)
+    return rows, cols, a_csc.data[a_idx] * b_csr.data[b_idx]
+
+
+def expand_row_indices(
+    a_csr: CSRMatrix, b_csr: CSRMatrix
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Symbolic row-product expansion of ``A @ B``.
+
+    Returns ``(rows, cols, a_idx, b_idx)`` in the same row order as
+    :func:`expand_row`, where ``a_idx``/``b_idx`` index the stored entries of
+    ``a_csr``/``b_csr`` — the provenance arrays mirroring
+    :func:`expand_outer_indices` for the Gustavson formulation.
     """
     check_multipliable(a_csr.shape, b_csr.shape)
     b_row_nnz = b_csr.row_nnz()
@@ -75,6 +95,15 @@ def expand_row(a_csr: CSRMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarr
     rows = row_of_entry[entry_of]
     b_rows = a_csr.indices[entry_of]
     b_idx = b_csr.indptr[b_rows] + offsets
-    cols = b_csr.indices[b_idx]
-    vals = a_csr.data[entry_of] * b_csr.data[b_idx]
-    return rows, cols, vals
+    return rows, b_csr.indices[b_idx], entry_of, b_idx
+
+
+def expand_row(a_csr: CSRMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-product (Gustavson) expansion of ``A @ B``.
+
+    Returns ``(rows, cols, vals)`` of C-hat, ordered by output row then by
+    the a-entry within the row then by the b-entry — the order a row-product
+    kernel would emit.
+    """
+    rows, cols, a_idx, b_idx = expand_row_indices(a_csr, b_csr)
+    return rows, cols, a_csr.data[a_idx] * b_csr.data[b_idx]

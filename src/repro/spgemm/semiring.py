@@ -21,7 +21,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sparse.csr import CSRMatrix
-from repro.spgemm.expansion import expand_outer
+from repro.spgemm.expansion import expand_outer_indices
 
 
 @dataclass(frozen=True)
@@ -85,21 +85,8 @@ def semiring_spgemm(
     """
     b = a if b is None else b
     a_csc = a.to_csc()
-    rows, cols, _ = expand_outer(a_csc, b)
-
-    # Recompute values with the semiring combine (expand_outer multiplies).
-    na = a_csc.col_nnz()
-    nb = b.row_nnz()
-    counts = na * nb
-    total = int(counts.sum())
-    seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    starts = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    nb_per = np.maximum(nb[seg_of], 1)
-    a_idx = a_csc.indptr[seg_of] + offsets // nb_per
-    b_idx = b.indptr[seg_of] + offsets % nb_per
+    rows, cols, a_idx, b_idx = expand_outer_indices(a_csc, b)
     vals = semiring.combine(a_csc.data[a_idx], b.data[b_idx])
-
     return _merge_with_reduce(rows, cols, vals, (a.n_rows, b.n_cols), semiring)
 
 

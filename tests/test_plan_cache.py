@@ -1,0 +1,299 @@
+"""Plan cache and IterativeSession: reuse must be invisible except in speed.
+
+The contract under test: a structure hit replays the numeric phase
+*bit-identically* to a cold execution (same float64 summation order), a
+structure change misses, and the amortisation counters account for exactly
+the work performed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pagerank import pagerank, pagerank_spgemm
+from repro.apps.shortestpaths import k_hop_shortest_paths
+from repro.core.adaptive import AdaptiveBlockReorganizer
+from repro.core.reorganizer import BlockReorganizer
+from repro.plan.cache import PlanCache, structure_fingerprint
+from repro.sparse.csr import CSRMatrix
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.outerproduct import OuterProductSpGEMM
+from repro.spgemm.rowproduct import RowProductSpGEMM
+from repro.spgemm.semiring import MIN_PLUS, OR_AND, semiring_spgemm
+from repro.spgemm.session import IterativeSession
+
+from .conftest import random_csr
+
+
+def _same_structure_new_values(m: CSRMatrix, rng) -> CSRMatrix:
+    return CSRMatrix(
+        m.shape, m.indptr.copy(), m.indices.copy(), rng.standard_normal(m.nnz)
+    )
+
+
+def _assert_bit_identical(x: CSRMatrix, y: CSRMatrix) -> None:
+    assert x.shape == y.shape
+    np.testing.assert_array_equal(x.indptr, y.indptr)
+    np.testing.assert_array_equal(x.indices, y.indices)
+    np.testing.assert_array_equal(x.data, y.data)
+
+
+class TestStructureFingerprint:
+    def test_values_do_not_matter(self, rng):
+        a = random_csr(rng, 30, 30, 0.1)
+        a2 = _same_structure_new_values(a, rng)
+        assert structure_fingerprint(a, a) == structure_fingerprint(a2, a2)
+
+    def test_structure_change_changes_fingerprint(self, rng):
+        a = random_csr(rng, 30, 30, 0.1)
+        b = random_csr(rng, 30, 30, 0.1)
+        while np.array_equal(a.indices, b.indices) and np.array_equal(
+            a.indptr, b.indptr
+        ):  # pragma: no cover - astronomically unlikely
+            b = random_csr(rng, 30, 30, 0.1)
+        assert structure_fingerprint(a, a) != structure_fingerprint(b, b)
+
+    def test_operand_order_matters(self, rng):
+        a = random_csr(rng, 30, 30, 0.1)
+        b = random_csr(rng, 30, 30, 0.15)
+        assert structure_fingerprint(a, b) != structure_fingerprint(b, a)
+
+
+ALL_SCHEMES = [
+    RowProductSpGEMM,
+    OuterProductSpGEMM,
+    BlockReorganizer,
+]
+
+
+class TestReplayBitIdentical:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES)
+    def test_same_structure_new_values(self, scheme, rng):
+        algo = scheme()
+        cache = PlanCache()
+        a = random_csr(rng, 50, 50, 0.12)
+        b = random_csr(rng, 50, 50, 0.12)
+        cache.multiply(algo, a, b)
+
+        a2 = _same_structure_new_values(a, rng)
+        b2 = _same_structure_new_values(b, rng)
+        warm = cache.multiply(algo, a2, b2)
+        cold = algo.multiply(MultiplyContext.build(a2, b2))
+        _assert_bit_identical(warm, cold)
+        assert cache.stats.hits == 1
+        assert cache.stats.lowers == 1
+
+    def test_all_paper_algorithms_replay(self, rng):
+        from repro.bench.runner import paper_algorithms
+
+        a = random_csr(rng, 60, 60, 0.1)
+        b = random_csr(rng, 60, 60, 0.1)
+        a2 = _same_structure_new_values(a, rng)
+        b2 = _same_structure_new_values(b, rng)
+        for algo in paper_algorithms():
+            cache = PlanCache()
+            cache.multiply(algo, a, b)
+            warm = cache.multiply(algo, a2, b2)
+            assert cache.stats.hits == 1, algo.name
+            cold = algo.multiply(MultiplyContext.build(a2, b2))
+            _assert_bit_identical(warm, cold)
+
+    def test_skewed_structure_exercises_split_provenance(self, rng, skewed_csr):
+        # Power-law operands classify dominators, so the reorganizer's split
+        # kernel (gather-composed provenance) is on the replay path.
+        algo = BlockReorganizer()
+        cache = PlanCache()
+        a = skewed_csr
+        cache.multiply(algo, a, a)
+        a2 = CSRMatrix(
+            a.shape, a.indptr.copy(), a.indices.copy(),
+            rng.random(a.nnz) + 0.5,
+        )
+        warm = cache.multiply(algo, a2, a2)
+        assert cache.stats.hits == 1
+        cold = algo.multiply(MultiplyContext.build(a2, a2))
+        _assert_bit_identical(warm, cold)
+
+    def test_structure_change_invalidates(self, rng):
+        algo = RowProductSpGEMM()
+        cache = PlanCache()
+        a = random_csr(rng, 40, 40, 0.1)
+        cache.multiply(algo, a, a)
+        b = random_csr(rng, 40, 40, 0.2)
+        out = cache.multiply(algo, b, b)
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 2
+        assert cache.stats.lowers == 2
+        cold = algo.multiply(MultiplyContext.build(b, b))
+        _assert_bit_identical(out, cold)
+
+    def test_different_algorithms_do_not_collide(self, rng):
+        cache = PlanCache()
+        a = random_csr(rng, 40, 40, 0.1)
+        row, outer = RowProductSpGEMM(), OuterProductSpGEMM()
+        cache.multiply(row, a, a)
+        out = cache.multiply(outer, a, a)
+        assert cache.stats.hits == 0  # same structure, different scheme key
+        _assert_bit_identical(out, outer.multiply(MultiplyContext.build(a, a)))
+
+    def test_empty_product_replays(self, rng):
+        algo = RowProductSpGEMM()
+        cache = PlanCache()
+        left = CSRMatrix.from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        right = CSRMatrix.from_dense(np.array([[0.0, 0.0], [0.0, 0.0]]))
+        # right has no stored entries at all -> empty expansion stream.
+        first = cache.multiply(algo, left, right)
+        second = cache.multiply(algo, left, right)
+        assert first.nnz == 0 and second.nnz == 0
+        assert cache.stats.hits == 1
+
+
+class TestSemiringReplay:
+    @pytest.mark.parametrize("semiring", [MIN_PLUS, OR_AND])
+    def test_same_structure_new_values(self, semiring, rng):
+        cache = PlanCache()
+        a = random_csr(rng, 40, 40, 0.15)
+        b = random_csr(rng, 40, 40, 0.15)
+        cache.semiring_multiply(a, b, semiring)
+        a2 = CSRMatrix(
+            a.shape, a.indptr.copy(), a.indices.copy(), rng.random(a.nnz) + 0.1
+        )
+        b2 = CSRMatrix(
+            b.shape, b.indptr.copy(), b.indices.copy(), rng.random(b.nnz) + 0.1
+        )
+        warm = cache.semiring_multiply(a2, b2, semiring)
+        assert cache.stats.hits == 1
+        cold = semiring_spgemm(a2, b2, semiring)
+        _assert_bit_identical(warm, cold)
+
+    def test_identity_dropping_recomputed_per_replay(self, rng):
+        # The kept-entry set depends on values, so replay must rebuild the
+        # output structure, not reuse the fill-time one.
+        cache = PlanCache()
+        a = CSRMatrix.from_dense(np.array([[1.0, 1.0], [0.0, 1.0]]))
+        cache.semiring_multiply(a, a, OR_AND)
+        # Same structure, but values that make some products vanish under
+        # or-and (zeros are combine-annihilators kept as stored entries).
+        a2 = CSRMatrix(a.shape, a.indptr.copy(), a.indices.copy(),
+                       np.array([1.0, 0.0, 1.0]))
+        warm = cache.semiring_multiply(a2, a2, OR_AND)
+        assert cache.stats.hits == 1
+        cold = semiring_spgemm(a2, a2, OR_AND)
+        _assert_bit_identical(warm, cold)
+
+
+class TestIterativeSession:
+    def test_counters_and_reuse(self, rng):
+        session = IterativeSession(RowProductSpGEMM())
+        a = random_csr(rng, 40, 40, 0.1)
+        for _ in range(5):
+            session.multiply(a, a)
+        stats = session.stats
+        assert stats.lookups == 5
+        assert stats.lowers == 1
+        assert stats.symbolic_expansions == 1
+        assert stats.numeric_replays == 4
+        assert stats.hit_rate == pytest.approx(0.8)
+
+    def test_wrap_passes_sessions_through(self):
+        session = IterativeSession(RowProductSpGEMM())
+        assert IterativeSession.wrap(session) is session
+        wrapped = IterativeSession.wrap(RowProductSpGEMM())
+        assert isinstance(wrapped, IterativeSession)
+
+    def test_shared_cache_across_sessions(self, rng):
+        cache = PlanCache()
+        a = random_csr(rng, 40, 40, 0.1)
+        IterativeSession(RowProductSpGEMM(), cache=cache).multiply(a, a)
+        IterativeSession(RowProductSpGEMM(), cache=cache).multiply(a, a)
+        assert cache.stats.hits == 1
+
+    def test_base_multiply_accepts_cache(self, rng):
+        algo = RowProductSpGEMM()
+        cache = PlanCache()
+        a = random_csr(rng, 40, 40, 0.1)
+        ctx = MultiplyContext.build(a, a)
+        first = algo.multiply(ctx, plan_cache=cache)
+        second = algo.multiply(ctx, plan_cache=cache)
+        assert cache.stats.hits == 1
+        _assert_bit_identical(first, second)
+
+
+class TestIterativeApps:
+    def test_pagerank_spgemm_lowering_amortised(self):
+        # Acceptance criterion: a 20-iteration PageRank run on a catalog
+        # dataset performs lowering + symbolic expansion exactly once.
+        from repro.datasets.loader import load
+
+        adj = load("poisson3da").a
+        session = IterativeSession(RowProductSpGEMM())
+        result = pagerank_spgemm(adj, session, max_iter=20, tol=0.0)
+        assert result.iterations == 20
+        stats = session.stats
+        assert stats.lookups == 20
+        assert stats.lowers == 1
+        assert stats.symbolic_expansions == 1
+        assert stats.numeric_replays == 19
+
+        reference = pagerank(adj, max_iter=20, tol=0.0)
+        np.testing.assert_allclose(
+            result.scores, reference.scores, rtol=1e-9, atol=1e-12
+        )
+
+    def test_pagerank_spgemm_matches_pagerank(self, rng):
+        a = random_csr(rng, 50, 50, 0.1)
+        mine = pagerank_spgemm(a, RowProductSpGEMM(), max_iter=60)
+        ref = pagerank(a, max_iter=60)
+        np.testing.assert_allclose(mine.scores, ref.scores, rtol=1e-8, atol=1e-12)
+
+    def test_shortest_paths_session_reuses_converged_structure(self, rng):
+        weights = random_csr(rng, 30, 30, 0.2)
+        weights = CSRMatrix(
+            weights.shape, weights.indptr, weights.indices, weights.data + 0.1
+        )
+        session = IterativeSession(RowProductSpGEMM())
+        with_session = k_hop_shortest_paths(weights, 6, session=session)
+        without = k_hop_shortest_paths(weights, 6)
+        _assert_bit_identical(with_session, without)
+        # On a 30-node graph the distance structure converges within a few
+        # relaxations; the remaining ones must be structure hits.
+        assert session.stats.hits > 0
+
+    def test_adaptive_tuning_memoised_per_structure(self, rng, skewed_csr):
+        algo = AdaptiveBlockReorganizer()
+        ctx = MultiplyContext.build(skewed_csr, skewed_csr)
+        first = algo.tune(ctx)
+        assert algo.tune(ctx) is first  # same structure: memoized object
+        other = MultiplyContext.build(*[random_csr(rng, 40, 40, 0.1)] * 2)
+        assert algo.tune(other) is not first
+
+
+class TestBenchGridUnaffected:
+    def test_smoke_grid_identical_with_plan_cache(self):
+        # The golden grid is the performance plane; running the numeric plane
+        # through a PlanCache (including warm replays) must not perturb it.
+        import json as jsonlib
+
+        from repro.bench.cache import result_to_dict
+        from repro.bench.runner import get_context, paper_algorithms, run_matrix
+
+        datasets = ["poisson3da", "as_caida"]
+
+        def canonical():
+            results = run_matrix(datasets, paper_algorithms(), workers=1, cache=None)
+            return {
+                f"{d}/{a}": jsonlib.dumps(result_to_dict(r), sort_keys=True)
+                for (d, a), r in results.items()
+            }
+
+        baseline = canonical()
+        cache = PlanCache()
+        for dataset in datasets:
+            ctx = get_context(dataset)
+            for algo in paper_algorithms():
+                cold = algo.multiply(ctx, plan_cache=cache)
+                warm = algo.multiply(ctx, plan_cache=cache)
+                _assert_bit_identical(cold, warm)
+        assert cache.stats.hits == len(datasets) * len(paper_algorithms())
+        assert canonical() == baseline

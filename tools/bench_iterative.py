@@ -1,0 +1,119 @@
+"""Before/after wall-clock for the plan cache on the iterative apps.
+
+Runs each of the three ``repro.apps`` workloads twice on catalog datasets:
+
+* **cold** — a session whose cache is emptied before every multiply, which
+  reproduces the pre-cache behaviour (full context build, lowering and
+  symbolic expansion on every iteration);
+* **warm** — a normal :class:`~repro.spgemm.session.IterativeSession`, where
+  repeat structures are served by numeric replay.
+
+Writes the measurements (plus the warm runs' cache counters) as JSON —
+``BENCH_pr3.json`` at the repo root records the PR's numbers.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_iterative.py --out BENCH_pr3.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.apps.pagerank import pagerank_spgemm
+from repro.apps.reachability import k_hop_reachability
+from repro.apps.shortestpaths import k_hop_shortest_paths
+from repro.datasets.loader import load
+from repro.spgemm.rowproduct import RowProductSpGEMM
+from repro.spgemm.session import IterativeSession
+
+
+class _NoReuseSession(IterativeSession):
+    """A session that forgets every entry before each multiply.
+
+    Emulates the pre-cache execution path (every iteration pays the full
+    pipeline) while flowing through exactly the same code, so the cold/warm
+    comparison isolates the reuse itself.
+    """
+
+    def multiply(self, a, b=None):
+        self.cache.clear()
+        return super().multiply(a, b)
+
+    def semiring_multiply(self, a, b=None, semiring=None):
+        self.cache.clear()
+        return super().semiring_multiply(a, b, semiring)
+
+
+def _time(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - start, out
+
+
+def _workloads(dataset: str, iterations: int, hops: int):
+    adj = load(dataset).a
+
+    def pagerank_run(session):
+        return pagerank_spgemm(adj, session, max_iter=iterations, tol=0.0)
+
+    def reachability_run(session):
+        return k_hop_reachability(adj, hops, session)
+
+    def shortest_paths_run(session):
+        return k_hop_shortest_paths(adj, hops, session=session)
+
+    return {
+        f"pagerank[{iterations} iterations]": pagerank_run,
+        f"reachability[{hops} hops]": reachability_run,
+        f"shortest-paths[{hops} hops]": shortest_paths_run,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--datasets", nargs="*", default=["poisson3da", "as_caida"])
+    parser.add_argument("--iterations", type=int, default=20,
+                        help="PageRank power iterations (default 20)")
+    parser.add_argument("--hops", type=int, default=4,
+                        help="hop count for reachability / shortest paths")
+    parser.add_argument("--out", default="BENCH_pr3.json")
+    args = parser.parse_args()
+
+    records = []
+    for dataset in args.datasets:
+        for name, run in _workloads(dataset, args.iterations, args.hops).items():
+            cold_s, _ = _time(lambda: run(_NoReuseSession(RowProductSpGEMM())))
+            warm_session = IterativeSession(RowProductSpGEMM())
+            warm_s, _ = _time(lambda: run(warm_session))
+            record = {
+                "dataset": dataset,
+                "workload": name,
+                "cold_seconds": cold_s,
+                "warm_seconds": warm_s,
+                "speedup": cold_s / warm_s,
+                "cache": warm_session.stats.as_dict(),
+            }
+            records.append(record)
+            print(f"{dataset:12s} {name:28s} cold {cold_s * 1e3:8.1f} ms  "
+                  f"warm {warm_s * 1e3:8.1f} ms  x{record['speedup']:.2f}")
+
+    payload = {
+        "description": "plan-cache amortisation on the iterative apps "
+                       "(cold = cache cleared before every multiply)",
+        "engine": "row-product",
+        "python": platform.python_version(),
+        "results": records,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Validate documented CLI commands against the real argparse tree.
+
+Scans README.md, EXPERIMENTS.md and docs/ARCHITECTURE.md for command lines
+and checks each one *without executing anything*:
+
+* ``repro ...`` / ``python -m repro ...`` lines inside fenced code blocks,
+  and inline ``python -m repro ...`` spans, are parsed with
+  :func:`repro.cli.build_parser` (argparse rejects unknown subcommands,
+  flags and experiment names); positional dataset arguments are checked
+  against the catalog.
+* ``python -m repro.some.module`` spellings are resolved with
+  :func:`importlib.util.find_spec`.
+* ``python tools/script.py`` lines and inline file references
+  (``tools/...``, ``docs/...``, ``src/...``, ``tests/...``) must exist on
+  disk.
+
+Inline spans containing ``<`` are templates (``repro experiment <name>``)
+and are skipped; fenced commands must be concrete.  Exits non-zero listing
+every stale command or dead reference.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import io
+import re
+import shlex
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+from repro.datasets.catalog import list_names  # noqa: E402
+
+DOCS = ["README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"]
+
+_INLINE = re.compile(r"`([^`]+)`")
+_ENV_ASSIGN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
+_FILE_REF = re.compile(
+    r"^(?:tools|docs|src|tests|examples|benchmarks)/[\w./-]+\.(?:py|md|json)$"
+)
+
+
+def _strip_env(tokens: list[str]) -> list[str]:
+    """Drop leading ``NAME=value`` environment assignments."""
+    while tokens and _ENV_ASSIGN.match(tokens[0]):
+        tokens = tokens[1:]
+    return tokens
+
+
+def _is_command(tokens: list[str]) -> bool:
+    if not tokens:
+        return False
+    if tokens[0] == "repro":
+        return True
+    if tokens[0] == "python" and len(tokens) >= 2:
+        if tokens[1] == "-m":
+            return len(tokens) >= 3 and (
+                tokens[2] == "repro" or tokens[2].startswith("repro.")
+            )
+        return tokens[1].startswith("tools/")
+    return False
+
+
+def iter_candidates(text: str):
+    """Yield (line number, command string) for every documented command."""
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            cmd = line.strip().removeprefix("$ ").split("#", 1)[0].strip()
+            try:
+                tokens = _strip_env(shlex.split(cmd)) if cmd else []
+            except ValueError:
+                continue  # prose with an apostrophe, not a command
+            if tokens and _is_command(tokens):
+                yield lineno, cmd
+        else:
+            for span in _INLINE.findall(line):
+                span = span.strip()
+                if any(marker in span for marker in "<…{"):
+                    continue  # a template, not an invocation
+                if _FILE_REF.match(span):
+                    yield lineno, f"FILE {span}"
+                    continue
+                try:
+                    tokens = _strip_env(shlex.split(span))
+                except ValueError:
+                    continue
+                if tokens[:2] == ["python", "-m"] and _is_command(tokens):
+                    yield lineno, span
+
+
+def _check_parse(cli_args: list[str]) -> str | None:
+    buf = io.StringIO()
+    try:
+        with contextlib.redirect_stderr(buf), contextlib.redirect_stdout(buf):
+            args = build_parser().parse_args(cli_args)
+    except SystemExit as exc:
+        if exc.code not in (0, None):
+            detail = buf.getvalue().strip().splitlines()
+            return detail[-1] if detail else "does not parse"
+        return None
+    datasets = []
+    if hasattr(args, "dataset"):
+        datasets.append(args.dataset)
+    datasets.extend(getattr(args, "datasets", None) or [])
+    unknown = sorted(set(datasets) - set(list_names(None)))
+    if unknown:
+        return f"unknown dataset(s): {', '.join(unknown)}"
+    return None
+
+
+def check_command(cmd: str) -> str | None:
+    """Return an error message for a bad command, or None if it is valid."""
+    if cmd.startswith("FILE "):
+        path = cmd.removeprefix("FILE ")
+        return None if (ROOT / path).exists() else "referenced file does not exist"
+    tokens = _strip_env(shlex.split(cmd))
+    if tokens[0] == "repro":
+        return _check_parse(tokens[1:])
+    if tokens[1] == "-m":
+        target = tokens[2]
+        if target == "repro":
+            return _check_parse(tokens[3:])
+        try:
+            spec = importlib.util.find_spec(target)
+        except (ImportError, ModuleNotFoundError):
+            spec = None
+        return None if spec is not None else f"module {target} not found"
+    script = ROOT / tokens[1]
+    return None if script.exists() else f"script {tokens[1]} does not exist"
+
+
+def main() -> int:
+    failures = []
+    checked = 0
+    for doc in DOCS:
+        path = ROOT / doc
+        if not path.exists():
+            failures.append((doc, 0, doc, "documentation file missing"))
+            continue
+        for lineno, cmd in iter_candidates(path.read_text(encoding="utf-8")):
+            checked += 1
+            error = check_command(cmd)
+            if error is not None:
+                failures.append((doc, lineno, cmd, error))
+    for doc, lineno, cmd, error in failures:
+        print(f"{doc}:{lineno}: {cmd!r}: {error}", file=sys.stderr)
+    status = "FAILED" if failures else "ok"
+    print(f"check_docs: {checked} documented commands/references checked, "
+          f"{len(failures)} stale ({status})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
