@@ -18,20 +18,30 @@ Properties the runner relies on:
   the catalog's published nnz as the size estimate) onto a dynamic pool, so
   one hub-heavy matrix doesn't serialise the tail of the run.
 * **Graceful degradation** — a dead or unstartable pool (resource limits,
-  broken interpreter forks) downgrades to the serial path for whatever cells
-  are still outstanding; simulation errors raised *inside* a worker are real
-  failures and propagate unchanged.
+  broken interpreter forks), and now also a *hung* pool, downgrade to the
+  serial path for whatever cells are still outstanding; simulation errors
+  raised *inside* a worker are real failures and propagate unchanged.  Hang
+  detection is a no-progress window: if ``timeout`` seconds elapse without a
+  single shard completing, the outstanding shards are declared stuck,
+  counted in the run summary, and re-run serially — the pool is shut down
+  without waiting on its hung workers.
+* **Trace shipping** — when tracing (:mod:`repro.obs`) is enabled in the
+  parent, each worker records into its own recorder and returns its span
+  trees alongside the results; the parent splices them into its live trace
+  (one Chrome process lane per shard), so the aggregated span tree is
+  identical to a serial run's.
 """
 
 from __future__ import annotations
 
 import os
 import warnings
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pickle import PicklingError
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.datasets.catalog import get_spec
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.costs import CostModel, DEFAULT_COSTS
@@ -39,7 +49,7 @@ from repro.gpusim.simulator import GPUSimulator
 from repro.spgemm.base import SpGEMMAlgorithm
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
-    from repro.bench.runner import BenchResult
+    from repro.bench.runner import BenchResult, RunSummary
 
 __all__ = ["default_workers", "run_sharded"]
 
@@ -76,19 +86,33 @@ def _simulate_shard(
     cells: list[tuple[str, SpGEMMAlgorithm]],
     gpu: GPUConfig,
     costs: CostModel | None,
-) -> list["BenchResult"]:
-    """Worker body: one dataset, many algorithms, one context build."""
+    trace: bool = False,
+) -> tuple[list["BenchResult"], list[dict] | None]:
+    """Worker body: one dataset, many algorithms, one context build.
+
+    Returns the shard's results plus — when ``trace`` is set — the worker's
+    span trees as plain dicts for the parent to adopt.
+    """
     # Deferred import: the worker resolves the context through the runner's
     # process-local cache, so repeated shards of the same dataset (or a
     # forked parent's warm cache) are reused.
     from repro.bench import runner
 
-    ctx = runner.get_context(name)
-    simulator = GPUSimulator(gpu, costs or DEFAULT_COSTS)
-    return [
-        runner._make_result(name, label, gpu, algo.simulate(ctx, simulator))
-        for label, algo in cells
-    ]
+    # Forked workers inherit the parent's live recorder; recording into that
+    # copy would be lost, so drop it and (when tracing) start a fresh one
+    # whose trees ship back with the results.
+    obs.uninstall()
+    recorder = obs.install() if trace else None
+    try:
+        ctx = runner.get_context(name)
+        simulator = GPUSimulator(gpu, costs or DEFAULT_COSTS)
+        results = [
+            runner._make_result(name, label, gpu, algo.simulate(ctx, simulator))
+            for label, algo in cells
+        ]
+    finally:
+        obs.uninstall()
+    return results, (recorder.to_dicts() if recorder is not None else None)
 
 
 def run_sharded(
@@ -96,34 +120,73 @@ def run_sharded(
     gpu: GPUConfig,
     costs: CostModel | None,
     workers: int,
+    *,
+    timeout: float | None = None,
+    summary: "RunSummary | None" = None,
 ) -> dict[tuple[str, str], "BenchResult"]:
     """Evaluate ``pending`` (dataset -> cells) across a process pool.
 
-    Falls back to the serial path for any cells left outstanding when the
-    pool itself fails; exceptions raised by the simulation code propagate.
+    ``timeout`` is the no-progress window in seconds: if it elapses without
+    any shard completing, outstanding shards are cancelled and re-run
+    serially (``None`` waits forever, the pre-timeout behaviour).  Falls
+    back to the serial path for any cells left outstanding when the pool
+    itself fails or hangs; exceptions raised by the simulation code
+    propagate.  ``summary`` (when given) receives timeout/failure counts.
     """
     from repro.bench import runner
 
     shards = sorted(pending.items(), key=lambda kv: -_shard_size_estimate(kv[0]))
+    lanes = {name: lane for lane, (name, _) in enumerate(shards, start=1)}
     results: dict[tuple[str, str], "BenchResult"] = {}
     remaining = dict(shards)
+    trace = obs.is_enabled()
+    pool = None
     try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(shards))) as pool:
-            futures = {
-                pool.submit(_simulate_shard, name, cells, gpu, costs): name
-                for name, cells in shards
-            }
-            for future in as_completed(futures):
+        pool = ProcessPoolExecutor(max_workers=min(workers, len(shards)))
+        futures = {
+            pool.submit(_simulate_shard, name, cells, gpu, costs, trace): name
+            for name, cells in shards
+        }
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(
+                outstanding, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # The window elapsed with zero completions: the pool is hung.
+                for future in outstanding:
+                    future.cancel()
+                hung = sorted(futures[f] for f in outstanding)
+                if summary is not None:
+                    summary.shard_timeouts += len(hung)
+                warnings.warn(
+                    f"shard timeout: no progress in {timeout:g}s, "
+                    f"re-running {len(hung)} shard(s) serially "
+                    f"({', '.join(hung)})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            for future in done:
                 name = futures[future]
-                for res in future.result():
+                shard_results, spans = future.result()
+                for res in shard_results:
                     results[(name, res.algorithm)] = res
+                obs.adopt(spans, pid=lanes[name])
                 remaining.pop(name, None)
     except _POOL_ERRORS as exc:
+        if summary is not None:
+            summary.pool_failures += 1
         warnings.warn(
             f"bench worker pool failed ({exc!r}); "
             f"finishing {len(remaining)} shard(s) serially",
             RuntimeWarning,
             stacklevel=2,
         )
+    finally:
+        if pool is not None:
+            # Never block on hung workers: leave them to die with the pool.
+            pool.shutdown(wait=False, cancel_futures=True)
+    if remaining:
         results.update(runner._run_serial(remaining, gpu, costs))
     return results

@@ -17,10 +17,18 @@ Commands:
                           resulting :class:`ExecutionPlan` (phases, blocks,
                           kernels, metadata); ``--execute`` also runs the
                           numeric kernels with per-phase instrumentation.
+* ``trace``             — run one dataset/algorithm cell with the
+                          observability plane (:mod:`repro.obs`) on and print
+                          the recorded span tree plus a per-category
+                          wall-clock rollup; ``--out FILE`` writes a
+                          Perfetto-loadable Chrome trace.
 
 ``compare``, ``bench`` and ``experiment`` accept the execution flags
-``--workers N`` (0 = all cores), ``--cache-dir PATH`` and ``--no-cache``;
-caching defaults to on, under ``~/.cache/repro``.
+``--workers N`` (0 = all cores), ``--cache-dir PATH``, ``--no-cache``,
+``--shard-timeout SECONDS`` (parallel no-progress window before hung shards
+re-run serially) and ``--trace FILE`` (record the whole invocation and write
+a Chrome trace); ``run`` accepts ``--trace FILE`` too.  Caching defaults to
+on, under ``~/.cache/repro``.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import importlib
 import json
 import sys
 
+from repro import obs
 from repro.bench import runner
 from repro.bench.cache import ResultCache, result_to_dict
 from repro.bench.parallel import default_workers
@@ -40,6 +49,7 @@ from repro.errors import ReproError
 from repro.gpusim.config import ALL_GPUS, TITAN_XP
 from repro.gpusim.export import stats_to_json
 from repro.gpusim.simulator import GPUSimulator
+from repro.metrics.obsprof import category_rollup, format_rollup
 from repro.metrics.profiling import profile_report
 from repro.plan.show import format_executions, format_plan
 
@@ -83,13 +93,30 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="bypass the persistent result cache entirely",
     )
+    parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help="parallel no-progress window before hung shards are re-run "
+             "serially (default 300)",
+    )
+    _add_trace_flag(parser)
+
+
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="record the run with repro.obs and write a Chrome trace "
+             "(open in Perfetto or chrome://tracing)",
+    )
 
 
 def _configure_runner(args: argparse.Namespace) -> ResultCache | None:
     """Apply the execution flags as process-wide runner defaults."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     workers = default_workers() if args.workers == 0 else args.workers
-    runner.configure(workers=workers, cache=cache)
+    if args.shard_timeout is not None:
+        runner.configure(workers=workers, cache=cache, shard_timeout=args.shard_timeout)
+    else:
+        runner.configure(workers=workers, cache=cache)
     return cache
 
 
@@ -187,6 +214,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     ))
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
+    summary = runner.last_run_summary()
+    if summary.shard_timeouts or summary.pool_failures:
+        print(
+            f"degraded: {summary.shard_timeouts} shard timeout(s), "
+            f"{summary.pool_failures} pool failure(s) — affected shards re-ran serially"
+        )
     if args.out:
         payload = [result_to_dict(res) for res in results.values()]
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -217,6 +250,47 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one dataset/algorithm cell end to end and print the span tree.
+
+    The recorder is installed *before* the context build so the trace covers
+    dataset generation and symbolic expansion, not just the simulation; a
+    warm in-process cache would hide those stages, so this command clears it
+    first.
+    """
+    from repro.datasets import loader
+
+    algo = _algo_by_name(args.algorithm)
+    gpu = _gpu_by_name(args.gpu)
+    loader.clear_cache()
+    runner.clear_context_cache()
+    recorder = obs.install()
+    try:
+        ctx = get_context(args.dataset)
+        stats = algo.simulate(ctx, GPUSimulator(gpu))
+    finally:
+        obs.uninstall()
+    print(f"trace: {args.algorithm} on {gpu.name} / {args.dataset} "
+          f"({stats.total_seconds * 1e6:.1f} simulated us)")
+    print(obs.format_span_tree(recorder.roots))
+    rollup = category_rollup(recorder.roots)
+    print("wall-clock by category (self time):")
+    print(format_rollup(rollup))
+    if args.out:
+        obs.write_trace(args.out, recorder, meta=_trace_meta(args))
+        print(f"wrote Chrome trace to {args.out} (open in Perfetto)")
+    return 0
+
+
+def _trace_meta(args: argparse.Namespace) -> dict:
+    """Run context embedded in a Chrome trace's ``otherData`` section."""
+    return {
+        "tool": "repro",
+        "command": args.command,
+        "argv": [a for a in (sys.argv[1:] if sys.argv else []) if a],
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the full ``repro`` argparse tree (no side effects).
 
@@ -241,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the numeric plane N times through an IterativeSession "
              "and print plan-cache amortisation counters",
     )
+    _add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("compare", help="all schemes on one dataset")
@@ -273,6 +348,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=_EXPERIMENTS)
     _add_exec_flags(p)
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "trace", help="trace one dataset/algorithm cell through the pipeline"
+    )
+    p.add_argument("dataset")
+    p.add_argument("algorithm")
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    p.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="write the recorded spans as a Chrome trace (Perfetto-loadable)",
+    )
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 
@@ -284,13 +371,26 @@ def main(argv: list[str] | None = None) -> int:
     # snapshot and restore them so in-process callers (tests, embedders) are
     # not left with this invocation's cache/workers settings.
     saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
+    saved_timeout = runner._DEFAULTS.shard_timeout
+    # --trace wraps the whole invocation in a recorder (the `trace` command
+    # owns its own recorder instead, so it can print the tree itself).
+    trace_path = getattr(args, "trace", None)
+    recorder = obs.install() if trace_path else None
     try:
-        return args.func(args)
+        code = args.func(args)
+        if recorder is not None and code == 0:
+            obs.write_trace(trace_path, recorder, meta=_trace_meta(args))
+            print(f"wrote Chrome trace to {trace_path} (open in Perfetto)")
+        return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
-        runner.configure(workers=saved_workers, cache=saved_cache)
+        if recorder is not None:
+            obs.uninstall()
+        runner.configure(
+            workers=saved_workers, cache=saved_cache, shard_timeout=saved_timeout
+        )
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.spgemm.base import MultiplyContext, SpGEMMAlgorithm
 
@@ -181,5 +182,7 @@ class BlockReorganizer(SpGEMMAlgorithm):
         plan = baseline.lower(ctx, config)
         plan.algorithm = self.name
         for p in self.pipeline():
-            plan = p.run(plan, ctx, config, self.costs)
+            with obs.span(f"reorganize.{p.signature()['pass']}", "plan") as sp:
+                plan = p.run(plan, ctx, config, self.costs)
+                sp.add(phases=len(plan.phases), blocks=int(plan.n_blocks))
         return plan

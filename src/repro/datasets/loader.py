@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import DatasetError
 from repro.datasets.catalog import DatasetSpec, get_spec
 from repro.sparse.csc import CSCMatrix
@@ -64,10 +65,12 @@ def load(name: str) -> LoadedDataset:
     key = (name, context_key(spec))
     if key in _CACHE:
         return _CACHE[key]
-    a_coo, b_coo = _generate(spec)
-    a = a_coo.to_csr()
-    b = b_coo.to_csr() if b_coo is not None else a
-    loaded = LoadedDataset(spec=spec, a=a, a_csc=a_coo.to_csc(), b=b)
+    with obs.span(f"dataset.load[{name}]", "data") as sp:
+        a_coo, b_coo = _generate(spec)
+        a = a_coo.to_csr()
+        b = b_coo.to_csr() if b_coo is not None else a
+        loaded = LoadedDataset(spec=spec, a=a, a_csc=a_coo.to_csc(), b=b)
+        sp.add(nnz_a=a.nnz, nnz_b=b.nnz, rows=a.n_rows)
     _CACHE[key] = loaded
     return loaded
 

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.gpusim.block import BlockArray
 from repro.gpusim.cache import build_memory_model
@@ -80,10 +81,18 @@ class GPUSimulator:
             device_setup_cycles=trace.device_setup_cycles,
             meta=dict(trace.meta),
         )
-        for phase in trace.phases:
-            stats.phases.append(
-                self._run_phase(phase.name, phase.stage, phase.blocks, phase.instr_override)
-            )
+        with obs.span(f"gpusim.run[{trace.algorithm}]", "simulate") as sp:
+            for phase in trace.phases:
+                with obs.span(f"gpusim.phase[{phase.name}]", "simulate") as psp:
+                    stats.phases.append(
+                        self._run_phase(
+                            phase.name, phase.stage, phase.blocks, phase.instr_override
+                        )
+                    )
+                    psp.add(
+                        blocks=len(phase.blocks), ops=int(phase.blocks.total_ops)
+                    )
+            sp.add(phases=len(trace.phases), blocks=int(trace.n_blocks))
         return stats
 
     def block_durations(

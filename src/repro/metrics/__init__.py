@@ -2,6 +2,7 @@
 
 from repro.metrics.gflops import FLOPS_PER_PRODUCT, gflops
 from repro.metrics.lbi import load_balancing_index
+from repro.metrics.obsprof import CategoryRollup, category_rollup, format_rollup
 from repro.metrics.planprof import (
     PlanCacheStats,
     PlanProfile,
@@ -15,6 +16,9 @@ __all__ = [
     "FLOPS_PER_PRODUCT",
     "gflops",
     "load_balancing_index",
+    "CategoryRollup",
+    "category_rollup",
+    "format_rollup",
     "PlanCacheStats",
     "PlanProfile",
     "PlanStageProfile",

@@ -1,0 +1,65 @@
+"""Category rollup over recorded trace spans (:mod:`repro.obs`).
+
+The span tree answers "where did this run's wall-clock go?" region by
+region; the rollup condenses it to the categories the pipeline is
+instrumented with (``data``, ``plan``, ``expansion``/``merge`` numeric
+stages, ``simulate``, ``bench``).  Self-time attribution — a span's
+duration minus its children's — keeps nested spans from double-counting,
+so category totals sum to the traced wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.obs.recorder import Span
+
+__all__ = ["CategoryRollup", "category_rollup", "format_rollup"]
+
+
+@dataclass
+class CategoryRollup:
+    """Aggregated share of one span category.
+
+    Attributes:
+        category: the span category rolled up.
+        spans: number of spans recorded in this category.
+        self_seconds: wall-clock attributed to the category (span durations
+            minus child durations, so nesting never double-counts).
+    """
+
+    category: str
+    spans: int = 0
+    self_seconds: float = 0.0
+
+
+def category_rollup(spans: Sequence[Span]) -> list[CategoryRollup]:
+    """Roll a span tree up into per-category self-time totals.
+
+    Returns rollups sorted by descending self-time (ties by name) —
+    the order a profile report prints in.
+    """
+    totals: dict[str, CategoryRollup] = {}
+
+    def visit(tree: Iterable[Span]) -> None:
+        for span in tree:
+            entry = totals.setdefault(span.category, CategoryRollup(span.category))
+            entry.spans += 1
+            child_dur = sum(child.dur for child in span.children)
+            entry.self_seconds += max(0.0, span.dur - child_dur)
+            visit(span.children)
+
+    visit(spans)
+    return sorted(totals.values(), key=lambda r: (-r.self_seconds, r.category))
+
+
+def format_rollup(rollups: Sequence[CategoryRollup]) -> str:
+    """Render the rollup as an aligned table fragment for the CLI."""
+    total = sum(r.self_seconds for r in rollups) or 1.0
+    lines = [
+        f"  {r.category:<12s} {r.self_seconds * 1e3:9.3f} ms "
+        f"({100.0 * r.self_seconds / total:5.1f}%)  spans={r.spans}"
+        for r in rollups
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""The span recorder: hierarchical wall-clock tracing with integer counters.
+
+A :class:`Span` is one timed region of the pipeline (dataset load, a
+reorganizer pass, a simulated kernel phase, ...) carrying a name, a coarse
+category, a dict of **integer** counters (op counts, cache hits) and child
+spans.  A :class:`TraceRecorder` owns a tree of spans and the entry stack
+that nests them; the module-level :func:`span` helper is what instrumented
+code calls.
+
+Disabled-path contract: when no recorder is installed, :func:`span` returns
+the singleton :data:`NULL_SPAN` — no :class:`Span` object is allocated, no
+clock is read, and entering/exiting the null span is a constant-time no-op.
+Instrumentation is therefore safe to leave in hot paths unconditionally
+(tests/test_obs.py asserts the no-allocation guarantee).
+
+Counters are restricted to integers on purpose: the aggregated span tree
+(:mod:`repro.obs.aggregate`) must be byte-identical between serial and
+process-pool runs, so everything in it has to be deterministic — wall-clock
+lives only on the raw spans and in the Chrome trace events.
+
+Worker processes record into their own recorder and ship their span trees
+back as plain dicts (:meth:`TraceRecorder.to_dicts`); the parent splices
+them into its live tree with :meth:`TraceRecorder.adopt`, tagging each
+adopted subtree with the worker's process lane for the Chrome export.
+
+The recorder is deliberately single-threaded per process: the bench
+parallelises across *processes*, each with its own recorder.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "NULL_SPAN",
+    "active",
+    "adopt",
+    "install",
+    "is_enabled",
+    "span",
+    "uninstall",
+]
+
+
+class Span:
+    """One timed pipeline region: name, category, integer counters, children.
+
+    Spans are context managers; entering pushes onto the owning recorder's
+    stack (so nested ``with obs.span(...)`` calls build the tree) and stamps
+    the start time, exiting stamps the duration.
+    """
+
+    __slots__ = ("name", "category", "counters", "children", "t0", "dur", "pid", "_recorder")
+
+    def __init__(
+        self,
+        name: str,
+        category: str = "pipeline",
+        counters: dict[str, int] | None = None,
+        pid: int = 0,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.counters: dict[str, int] = dict(counters) if counters else {}
+        self.children: list[Span] = []
+        self.t0 = 0.0  # seconds since the recorder's origin
+        self.dur = 0.0  # wall-clock seconds inside the span
+        self.pid = pid  # process lane for the Chrome export (0 = this process)
+        self._recorder: TraceRecorder | None = None
+
+    def add(self, **counters: int) -> None:
+        """Accumulate integer counters onto this span."""
+        for key, value in counters.items():
+            self.counters[key] = self.counters.get(key, 0) + int(value)
+
+    def __enter__(self) -> "Span":
+        self._recorder._push(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._recorder._pop(self)
+        return False
+
+    # -- worker serialisation ------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict form, pickle/JSON-stable across processes."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "counters": self.counters,
+            "t0": self.t0,
+            "dur": self.dur,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, pid: int = 0) -> "Span":
+        """Rebuild a span tree shipped back from a worker process."""
+        span = cls(payload["name"], payload["category"], payload.get("counters"), pid=pid)
+        span.t0 = float(payload.get("t0", 0.0))
+        span.dur = float(payload.get("dur", 0.0))
+        span.children = [cls.from_dict(child, pid=pid) for child in payload.get("children", [])]
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, cat={self.category!r}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """The disabled-recorder span: a stateless, allocation-free no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add(self, **counters: int) -> None:
+        return None
+
+
+#: Singleton returned by :func:`span` while tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class TraceRecorder:
+    """Owns a span tree and the stack that nests live spans into it."""
+
+    def __init__(self) -> None:
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._origin = time.perf_counter()
+
+    def span(self, name: str, category: str = "pipeline", **counters: int) -> Span:
+        """Create a span bound to this recorder (enter it to record)."""
+        span = Span(name, category, counters)
+        span._recorder = self
+        return span
+
+    def _push(self, span: Span) -> None:
+        parent = self._stack[-1].children if self._stack else self.roots
+        parent.append(span)
+        self._stack.append(span)
+        span.t0 = time.perf_counter() - self._origin
+
+    def _pop(self, span: Span) -> None:
+        span.dur = time.perf_counter() - self._origin - span.t0
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    def adopt(self, payloads: list[dict], pid: int = 0) -> None:
+        """Splice worker span trees (``to_dicts`` output) under the open span.
+
+        Adopted spans land exactly where a serial execution would have
+        recorded them, so serial and parallel runs aggregate identically;
+        ``pid`` tags the subtree's process lane for the Chrome export.
+        """
+        target = self._stack[-1].children if self._stack else self.roots
+        for payload in payloads:
+            target.append(Span.from_dict(payload, pid=pid))
+
+    def to_dicts(self) -> list[dict]:
+        """The root span trees as plain dicts (worker -> parent shipping)."""
+        return [span.to_dict() for span in self.roots]
+
+
+_ACTIVE: TraceRecorder | None = None
+
+
+def active() -> TraceRecorder | None:
+    """The installed recorder, or None while tracing is off."""
+    return _ACTIVE
+
+
+def is_enabled() -> bool:
+    """True when a recorder is installed in this process."""
+    return _ACTIVE is not None
+
+
+def install(recorder: TraceRecorder | None = None) -> TraceRecorder:
+    """Install (and return) the process-wide recorder; tracing is on after."""
+    global _ACTIVE
+    _ACTIVE = recorder if recorder is not None else TraceRecorder()
+    return _ACTIVE
+
+
+def uninstall() -> TraceRecorder | None:
+    """Remove and return the installed recorder; tracing is off after."""
+    global _ACTIVE
+    recorder, _ACTIVE = _ACTIVE, None
+    return recorder
+
+
+def span(name: str, category: str = "pipeline", **counters: int):
+    """A span under the installed recorder, or :data:`NULL_SPAN` when off."""
+    recorder = _ACTIVE
+    if recorder is None:
+        return NULL_SPAN
+    return recorder.span(name, category, **counters)
+
+
+def adopt(payloads: list[dict] | None, pid: int = 0) -> None:
+    """Adopt worker span dicts into the installed recorder (no-op when off)."""
+    if payloads and _ACTIVE is not None:
+        _ACTIVE.adopt(payloads, pid=pid)

@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.sparse.csr import CSRMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -240,13 +241,18 @@ class PlanCache:
     ) -> CSRMatrix:
         """Compute ``a @ b`` with ``algo``, replaying on structure hits.
 
-        On a hit the entire cold pipeline — context construction (CSC
-        conversion, workload precalculation), classification, lowering and
-        symbolic expansion — is skipped; only the recipe's gather + merge
-        runs.  ``ctx`` may be supplied when the caller already built one.
+        On a hit the entire cold pipeline — operand validation, context
+        construction (CSC conversion, workload precalculation),
+        classification, lowering and symbolic expansion — is skipped; only
+        the recipe's gather + merge runs.  ``ctx`` may be supplied when the
+        caller already built one.
         """
         from repro.plan.ir import NumericState
-        from repro.spgemm.base import DEFAULT_LOWERING_CONFIG, MultiplyContext
+        from repro.spgemm.base import (
+            DEFAULT_LOWERING_CONFIG,
+            MultiplyContext,
+            validate_operands,
+        )
 
         if config is None:
             config = DEFAULT_LOWERING_CONFIG
@@ -262,18 +268,22 @@ class PlanCache:
         if entry is not None and entry.recipe is not None:
             self.stats.hits += 1
             self.stats.numeric_replays += 1
-            return entry.recipe.replay(a.data, b.data)
+            with obs.span("plan.cache[hit]", "plan", hits=1, numeric_replays=1):
+                return entry.recipe.replay(a.data, b.data)
 
         self.stats.misses += 1
-        if ctx is None:
-            ctx = MultiplyContext.build(a, b)
-        self.stats.lowers += 1
-        plan = algo.lower(ctx, config)
-        self.stats.symbolic_expansions += 1
-        state = NumericState(ctx, track_provenance=True)
-        result, _ = plan.execute_instrumented(ctx, state)
-        recipe = self._capture(state, result)
-        self._entries[key] = PlanCacheEntry(plan, recipe)
+        with obs.span("plan.cache[miss]", "plan", misses=1) as sp:
+            validate_operands(a, b)
+            if ctx is None:
+                ctx = MultiplyContext.build(a, b)
+            self.stats.lowers += 1
+            plan = algo.lower_traced(ctx, config)
+            self.stats.symbolic_expansions += 1
+            sp.add(lowers=1, symbolic_expansions=1)
+            state = NumericState(ctx, track_provenance=True)
+            result, _ = plan.execute_instrumented(ctx, state)
+            recipe = self._capture(state, result)
+            self._entries[key] = PlanCacheEntry(plan, recipe)
         return result
 
     def _capture(self, state, result: CSRMatrix) -> NumericRecipe | None:
@@ -318,6 +328,7 @@ class PlanCache:
         semiring name because the combine decides nothing structural but the
         replay verification is algebra-specific.
         """
+        from repro.spgemm.base import validate_operands
         from repro.spgemm.semiring import PLUS_TIMES, semiring_spgemm
 
         if semiring is None:
@@ -329,19 +340,22 @@ class PlanCache:
         if entry is not None and entry.recipe is not None:
             self.stats.hits += 1
             self.stats.numeric_replays += 1
-            return entry.recipe.replay(a.data, b.data, semiring)
+            with obs.span("plan.semiring[hit]", "plan", hits=1, numeric_replays=1):
+                return entry.recipe.replay(a.data, b.data, semiring)
 
         self.stats.misses += 1
         self.stats.symbolic_expansions += 1
-        result = semiring_spgemm(a, b, semiring)
-        recipe = self._capture_semiring(a, b)
-        if (
-            recipe is not None
-            and self.verify_fill
-            and not _identical(recipe.replay(a.data, b.data, semiring), result)
-        ):
-            recipe = None
-        self._entries[key] = PlanCacheEntry(None, recipe)
+        with obs.span("plan.semiring[miss]", "plan", misses=1, symbolic_expansions=1):
+            validate_operands(a, b)
+            result = semiring_spgemm(a, b, semiring)
+            recipe = self._capture_semiring(a, b)
+            if (
+                recipe is not None
+                and self.verify_fill
+                and not _identical(recipe.replay(a.data, b.data, semiring), result)
+            ):
+                recipe = None
+            self._entries[key] = PlanCacheEntry(None, recipe)
         return result
 
     def _capture_semiring(

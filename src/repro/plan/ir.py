@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import obs
 from repro.errors import PlanError
 from repro.gpusim.block import BlockArray
 from repro.gpusim.trace import (
@@ -405,18 +406,20 @@ class ExecutionPlan:
             state = NumericState(ctx)
         records: list[PhaseExecution] = []
         for phase in self.phases:
-            before = state.emitted
-            start = time.perf_counter()
-            ops = phase.kernel(state) if phase.kernel is not None else 0
-            seconds = time.perf_counter() - start
-            if phase.device and phase.stage == PHASE_EXPANSION:
-                emitted = state.emitted - before
-                expected = phase.blocks.total_ops
-                if emitted != expected:
-                    raise PlanError(
-                        f"{self.algorithm!r} phase {phase.name!r} emitted "
-                        f"{emitted} products but its blocks account for {expected}"
-                    )
+            with obs.span(f"numeric.phase[{phase.name}]", phase.stage) as sp:
+                before = state.emitted
+                start = time.perf_counter()
+                ops = phase.kernel(state) if phase.kernel is not None else 0
+                seconds = time.perf_counter() - start
+                if phase.device and phase.stage == PHASE_EXPANSION:
+                    emitted = state.emitted - before
+                    expected = phase.blocks.total_ops
+                    if emitted != expected:
+                        raise PlanError(
+                            f"{self.algorithm!r} phase {phase.name!r} emitted "
+                            f"{emitted} products but its blocks account for {expected}"
+                        )
+                sp.add(ops=int(ops), blocks=len(phase.blocks))
             records.append(
                 PhaseExecution(
                     name=phase.name,
@@ -432,4 +435,7 @@ class ExecutionPlan:
                     ),
                 )
             )
-        return state.coalesce(), records
+        with obs.span("numeric.coalesce", PHASE_MERGE) as sp:
+            result = state.coalesce()
+            sp.add(nnz=result.nnz)
+        return result, records

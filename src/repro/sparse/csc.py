@@ -106,6 +106,24 @@ class CSCMatrix:
                 raise SparseFormatError("row index out of range")
             if not np.all(np.isfinite(self.data)):
                 raise SparseFormatError("non-finite value in CSC matrix")
+            # Duplicate row indices within a column silently double-count
+            # downstream (outer-product expansion emits one product per
+            # stored entry), so they are a format error; sum_duplicates()
+            # canonicalises.
+            col_of = np.repeat(np.arange(n_cols, dtype=np.int64), np.diff(self.indptr))
+            keys = np.sort(col_of * n_rows + self.indices)
+            dup = np.nonzero(keys[1:] == keys[:-1])[0]
+            if len(dup):
+                col = int(keys[dup[0]] // n_rows)
+                raise SparseFormatError(
+                    f"duplicate row indices within column {col} "
+                    "(use sum_duplicates() to canonicalise)"
+                )
+
+    def sum_duplicates(self) -> "CSCMatrix":
+        """Return a canonical copy: duplicate ``(row, col)`` entries summed,
+        row indices sorted within each column."""
+        return self.to_coo().to_csc()
 
     # ------------------------------------------------------------------
     # Conversions

@@ -117,6 +117,23 @@ class CSRMatrix:
                 raise SparseFormatError("column index out of range")
             if not np.all(np.isfinite(self.data)):
                 raise SparseFormatError("non-finite value in CSR matrix")
+            # Duplicate column indices within a row silently double-count
+            # downstream (histogram-based symbolic expansion, merge sizing),
+            # so they are a format error; sum_duplicates() canonicalises.
+            row_of = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(self.indptr))
+            keys = np.sort(row_of * n_cols + self.indices)
+            dup = np.nonzero(keys[1:] == keys[:-1])[0]
+            if len(dup):
+                row = int(keys[dup[0]] // n_cols)
+                raise SparseFormatError(
+                    f"duplicate column indices within row {row} "
+                    "(use sum_duplicates() to canonicalise)"
+                )
+
+    def sum_duplicates(self) -> "CSRMatrix":
+        """Return a canonical copy: duplicate ``(row, col)`` entries summed,
+        column indices sorted within each row."""
+        return self.to_coo().to_csr()
 
     def has_sorted_indices(self) -> bool:
         """True when column indices are strictly increasing within each row."""

@@ -26,7 +26,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import FingerprintError
+from repro import obs
+from repro.errors import FingerprintError, SparseFormatError
 from repro.gpusim.config import TITAN_XP, GPUConfig
 from repro.gpusim.costs import DEFAULT_COSTS, CostModel
 from repro.gpusim.simulator import GPUSimulator
@@ -42,7 +43,30 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; plan imports stay lazy here
     from repro.plan.cache import PlanCache
     from repro.plan.ir import ExecutionPlan, PhaseExecution
 
-__all__ = ["DEFAULT_LOWERING_CONFIG", "MultiplyContext", "SpGEMMAlgorithm"]
+__all__ = [
+    "DEFAULT_LOWERING_CONFIG",
+    "MultiplyContext",
+    "SpGEMMAlgorithm",
+    "validate_operands",
+]
+
+
+def validate_operands(a: CSRMatrix | CSCMatrix, b: CSRMatrix | CSCMatrix) -> None:
+    """Structural validation of a multiply's operands, naming the offender.
+
+    Called at the ``multiply()`` boundaries so malformed operands raise
+    :class:`~repro.errors.SparseFormatError` (with the offending operand and
+    field named) instead of surfacing as a deep NumPy ``IndexError`` from an
+    expansion kernel.  Plan-cache structure hits never reach this check: a
+    hit means the identical structure already validated on its cold path.
+    """
+    for which, matrix in (("A", a), ("B", b)):
+        try:
+            matrix.validate()
+        except SparseFormatError as exc:
+            raise SparseFormatError(
+                f"operand {which} ({type(matrix).__name__}): {exc}"
+            ) from None
 
 #: Target used when lowering for the numeric plane alone.  The numeric result
 #: must not depend on the simulated GPU; the only lowering decision that reads
@@ -172,6 +196,23 @@ class SpGEMMAlgorithm(abc.ABC):
         perform the same work.
         """
 
+    def lower_traced(self, ctx: MultiplyContext, config: GPUConfig) -> ExecutionPlan:
+        """:meth:`lower` wrapped in an observability span (shared entry).
+
+        Every executor path (``multiply``, ``build_trace``, ``profile_plan``
+        and the plan cache's cold path) lowers through this hook so the
+        trace's ``plan.lower[...]`` node counts lowerings exactly once each,
+        with phase/block/op counters attached.
+        """
+        with obs.span(f"plan.lower[{self.name}]", "plan") as sp:
+            plan = self.lower(ctx, config)
+            sp.add(
+                phases=len(plan.phases),
+                blocks=int(plan.n_blocks),
+                ops=int(plan.total_ops()),
+            )
+        return plan
+
     def multiply(
         self, ctx: MultiplyContext, *, plan_cache: "PlanCache | None" = None
     ) -> CSRMatrix:
@@ -180,20 +221,25 @@ class SpGEMMAlgorithm(abc.ABC):
         With a :class:`~repro.plan.cache.PlanCache`, a repeat multiply whose
         operands have a previously seen sparsity structure skips lowering and
         all symbolic work, replaying only the numeric phase (bit-identical).
+        Operands are structurally validated at this boundary (the plan
+        cache's replay fast path skips re-validation of known structures).
         """
         if plan_cache is not None:
             return plan_cache.multiply(self, ctx.a_csr, ctx.b_csr, ctx=ctx)
-        return self.lower(ctx, DEFAULT_LOWERING_CONFIG).execute(ctx)
+        validate_operands(ctx.a_csr, ctx.b_csr)
+        return self.lower_traced(ctx, DEFAULT_LOWERING_CONFIG).execute(ctx)
 
     def build_trace(self, ctx: MultiplyContext, config: GPUConfig) -> KernelTrace:
         """Describe the thread blocks this scheme launches on ``config``."""
-        return self.lower(ctx, config).to_trace()
+        return self.lower_traced(ctx, config).to_trace()
 
     def profile_plan(
         self, ctx: MultiplyContext, config: GPUConfig | None = None
     ) -> tuple[CSRMatrix, list[PhaseExecution]]:
         """Numeric execution with per-phase instrumentation records."""
-        plan = self.lower(ctx, config if config is not None else DEFAULT_LOWERING_CONFIG)
+        plan = self.lower_traced(
+            ctx, config if config is not None else DEFAULT_LOWERING_CONFIG
+        )
         return plan.execute_instrumented(ctx)
 
     def run(

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.gpusim.block import BlockArray
 from repro.gpusim.config import CPUConfig, GPUConfig, XEON_E5_2640V4
 from repro.gpusim.simulator import GPUSimulator
@@ -78,12 +79,16 @@ class MklSpGEMM(SpGEMMAlgorithm):
 
     def simulate(self, ctx: MultiplyContext, simulator: GPUSimulator) -> KernelStats:
         """Synthesise stats directly (no GPU phases to schedule)."""
-        stats = KernelStats(
-            algorithm=self.name,
-            config=simulator.config,
-            host_seconds=self.cpu_seconds(ctx),
-            meta={"cpu": self.cpu.name},
-        )
+        # The other schemes get their simulate span from GPUSimulator.run;
+        # this host-only comparator records its own so traces cover all seven.
+        with obs.span(f"host.run[{self.name}]", "simulate") as sp:
+            stats = KernelStats(
+                algorithm=self.name,
+                config=simulator.config,
+                host_seconds=self.cpu_seconds(ctx),
+                meta={"cpu": self.cpu.name},
+            )
+            sp.add(ops=int(ctx.total_work))
         # Record the useful work as a zero-duration expansion phase so GFLOPS
         # accounting works uniformly across algorithms.
         stats.phases.append(

@@ -18,7 +18,7 @@ from repro.gpusim.config import TITAN_XP
 SMALL = ["poisson3da", "as_caida"]
 
 
-def _explode(name, cells, gpu, costs):
+def _explode(name, cells, gpu, costs, trace=False):
     # Module-level so the process pool can pickle it by reference.
     raise ValueError("a real bug, not a pool failure")
 

@@ -51,6 +51,22 @@ class TestValidation:
         with pytest.raises(SparseFormatError, match="non-finite"):
             m.validate()
 
+    def test_duplicate_rows_rejected(self):
+        m = CSCMatrix((3, 2), np.array([0, 3, 4]), np.array([0, 1, 1, 2]), np.ones(4))
+        with pytest.raises(SparseFormatError, match="duplicate row indices within column 0"):
+            m.validate()
+
+    def test_sum_duplicates_canonicalises(self):
+        m = CSCMatrix(
+            (3, 2), np.array([0, 3, 4]), np.array([1, 0, 1, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        dense = m.to_dense()  # np.add.at sums the duplicates
+        s = m.sum_duplicates()
+        s.validate()
+        assert s.nnz == 3
+        assert np.allclose(s.to_dense(), dense)
+
 
 class TestTransforms:
     def test_transpose(self, small_dense):

@@ -67,6 +67,27 @@ class TestValidation:
         with pytest.raises(SparseFormatError, match="non-finite"):
             m.validate()
 
+    def test_duplicate_columns_rejected(self):
+        m = CSRMatrix((2, 3), np.array([0, 3, 4]), np.array([0, 1, 1, 2]), np.ones(4))
+        with pytest.raises(SparseFormatError, match="duplicate column indices within row 0"):
+            m.validate()
+
+    def test_duplicate_reports_offending_row(self):
+        m = CSRMatrix((3, 3), np.array([0, 1, 1, 3]), np.array([2, 0, 0]), np.ones(3))
+        with pytest.raises(SparseFormatError, match="row 2"):
+            m.validate()
+
+    def test_sum_duplicates_canonicalises(self):
+        m = CSRMatrix(
+            (2, 3), np.array([0, 3, 4]), np.array([1, 0, 1, 2]),
+            np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        dense = m.to_dense()  # np.add.at sums the duplicates
+        s = m.sum_duplicates()
+        s.validate()
+        assert s.nnz == 3
+        assert np.allclose(s.to_dense(), dense)
+
 
 class TestSorting:
     def test_sorted_after_conversion(self, small_csr):

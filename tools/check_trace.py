@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace file emitted by the observability plane.
+
+Usage: python tools/check_trace.py trace.json
+
+Checks the structural contract CI relies on:
+
+* the file is the Chrome trace-event JSON *object* format — a dict with a
+  ``traceEvents`` list (Perfetto and chrome://tracing open it directly);
+* every event is a complete event (``"ph": "X"`` with numeric ``ts``/``dur``
+  and a ``name``) or process-name metadata (``"ph": "M"``);
+* every process lane referenced by a complete event has a name;
+* the embedded ``aggregate`` tree is present, well-formed (name/category/
+  count/counters/children on every node) and carries integer counters only
+  — the determinism guarantee tests/test_obs.py enforces end to end.
+
+Exits non-zero with a message naming the first violated rule.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 compat
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_events(events: list) -> None:
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty list")
+    named_lanes = set()
+    used_lanes = set()
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            fail(f"traceEvents[{i}] is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            fail(f"traceEvents[{i}] has unsupported phase {ph!r}")
+        if not isinstance(event.get("pid"), int):
+            fail(f"traceEvents[{i}] missing integer pid")
+        if ph == "X":
+            used_lanes.add(event["pid"])
+            if not isinstance(event.get("name"), str) or not event["name"]:
+                fail(f"traceEvents[{i}] missing span name")
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value < 0:
+                    fail(f"traceEvents[{i}].{key} must be a non-negative number")
+        else:
+            if event.get("name") == "process_name":
+                named_lanes.add(event["pid"])
+    unnamed = used_lanes - named_lanes
+    if unnamed:
+        fail(f"process lanes without a process_name event: {sorted(unnamed)}")
+
+
+def check_aggregate(nodes: list, path: str = "aggregate") -> None:
+    if not isinstance(nodes, list):
+        fail(f"{path} must be a list")
+    for node in nodes:
+        where = f"{path}[{node.get('name', '?')!r}]"
+        if set(node) != {"name", "category", "count", "counters", "children"}:
+            fail(f"{where} has unexpected keys {sorted(node)}")
+        if not isinstance(node["count"], int) or node["count"] < 1:
+            fail(f"{where}.count must be a positive integer")
+        for key, value in node["counters"].items():
+            if not isinstance(value, int):
+                fail(f"{where}.counters[{key!r}] is not an integer (got {value!r})")
+        check_aggregate(node["children"], where)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    with open(argv[1], encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict):
+        fail("top level must be a JSON object (Chrome trace object format)")
+    check_events(payload.get("traceEvents"))
+    if "aggregate" not in payload:
+        fail("embedded aggregate tree missing")
+    check_aggregate(payload["aggregate"])
+    if not payload["aggregate"]:
+        fail("aggregate tree is empty")
+    n_events = len(payload["traceEvents"])
+    print(f"check_trace: OK: {argv[1]} ({n_events} events, aggregate present)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
