@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import exec as rexec
 from repro import obs
 from repro.bench.cache import ResultCache
 from repro.bench.fingerprint import cell_key, context_key
@@ -133,20 +134,26 @@ class _RunnerDefaults:
     workers: int = 1
     cache: ResultCache | None = None
     shard_timeout: float | None = 300.0
+    exec_workers: int = 1
 
 
 _DEFAULTS = _RunnerDefaults()
 _UNSET = object()
 
 
-def configure(*, workers: int | None = None, cache=_UNSET, shard_timeout=_UNSET) -> None:
+def configure(
+    *, workers: int | None = None, cache=_UNSET, shard_timeout=_UNSET,
+    exec_workers: int | None = None,
+) -> None:
     """Set defaults used when :func:`run_matrix` arguments are omitted.
 
     ``workers`` is clamped to at least 1; ``cache`` is a
     :class:`ResultCache` or None (caching off); ``shard_timeout`` is the
-    parallel engine's no-progress window in seconds (None disables it).
-    Entry points call this once (e.g. from CLI flags) so every experiment
-    module inherits the behaviour.
+    parallel engine's no-progress window in seconds (None disables it);
+    ``exec_workers`` is the :mod:`repro.exec` pool width used for in-process
+    numeric kernels (1 = serial, bit-identical either way).  Entry points
+    call this once (e.g. from CLI flags) so every experiment module inherits
+    the behaviour.
     """
     if workers is not None:
         _DEFAULTS.workers = max(1, int(workers))
@@ -154,6 +161,8 @@ def configure(*, workers: int | None = None, cache=_UNSET, shard_timeout=_UNSET)
         _DEFAULTS.cache = cache
     if shard_timeout is not _UNSET:
         _DEFAULTS.shard_timeout = None if shard_timeout is None else float(shard_timeout)
+    if exec_workers is not None:
+        _DEFAULTS.exec_workers = max(1, int(exec_workers))
 
 
 @dataclass
@@ -233,6 +242,7 @@ def run_matrix(
     workers: int | None = None,
     cache: ResultCache | None = _UNSET,  # type: ignore[assignment]
     shard_timeout: float | None = _UNSET,  # type: ignore[assignment]
+    exec_workers: int | None = None,
 ) -> dict[tuple[str, str], BenchResult]:
     """Simulate every algorithm on every dataset.
 
@@ -249,6 +259,11 @@ def run_matrix(
         shard_timeout: parallel no-progress window in seconds before
             outstanding shards are declared hung and re-run serially;
             omitted uses the :func:`configure` default, None disables.
+        exec_workers: :mod:`repro.exec` pool width for the in-process
+            numeric kernels (context symbolic passes); results are
+            bit-identical at any width.  Omitted uses the :func:`configure`
+            default.  Only the serial evaluation path uses it — shard
+            workers are already one-per-core and never nest exec pools.
 
     Returns a dict keyed by ``(dataset, label)`` in deterministic grid order
     (datasets outer, algorithms inner) regardless of execution order, with
@@ -297,6 +312,10 @@ def run_matrix(
             if todo:
                 pending[name] = todo
         if pending:
+            eff_exec = (
+                _DEFAULTS.exec_workers if exec_workers is None
+                else max(1, int(exec_workers))
+            )
             if eff_workers > 1 and len(pending) > 1:
                 from repro.bench.parallel import run_sharded
 
@@ -305,7 +324,8 @@ def run_matrix(
                     timeout=eff_timeout, summary=summary,
                 )
             else:
-                computed = _run_serial(pending, gpu, costs)
+                with rexec.engine_scope(eff_exec if eff_exec > 1 else None):
+                    computed = _run_serial(pending, gpu, costs)
             summary.computed = len(computed)
             for cell, res in computed.items():
                 results[cell] = res

@@ -26,9 +26,11 @@ Commands:
 ``compare``, ``bench`` and ``experiment`` accept the execution flags
 ``--workers N`` (0 = all cores), ``--cache-dir PATH``, ``--no-cache``,
 ``--shard-timeout SECONDS`` (parallel no-progress window before hung shards
-re-run serially) and ``--trace FILE`` (record the whole invocation and write
-a Chrome trace); ``run`` accepts ``--trace FILE`` too.  Caching defaults to
-on, under ``~/.cache/repro``.
+re-run serially), ``--exec-workers N`` (process-pool width for the numeric
+kernels via :mod:`repro.exec`; bit-identical to serial) and ``--trace FILE``
+(record the whole invocation and write a Chrome trace); ``run`` accepts
+``--exec-workers`` and ``--trace`` too.  Caching defaults to on, under
+``~/.cache/repro``.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ import importlib
 import json
 import sys
 
+from repro import exec as rexec
 from repro import obs
 from repro.bench import runner
 from repro.bench.cache import ResultCache, result_to_dict
@@ -98,7 +101,16 @@ def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
         help="parallel no-progress window before hung shards are re-run "
              "serially (default 300)",
     )
+    _add_exec_workers_flag(parser)
     _add_trace_flag(parser)
+
+
+def _add_exec_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--exec-workers", type=int, default=1, metavar="N",
+        help="process-pool width for the numeric kernels (repro.exec); "
+             "results are bit-identical to serial (0 = all cores; default 1)",
+    )
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -109,14 +121,24 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _exec_workers_of(args: argparse.Namespace) -> int:
+    """Resolve the ``--exec-workers`` flag (0 = all cores)."""
+    n = getattr(args, "exec_workers", 1)
+    return rexec.default_exec_workers() if n == 0 else max(1, n)
+
+
 def _configure_runner(args: argparse.Namespace) -> ResultCache | None:
     """Apply the execution flags as process-wide runner defaults."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     workers = default_workers() if args.workers == 0 else args.workers
+    exec_workers = _exec_workers_of(args)
     if args.shard_timeout is not None:
-        runner.configure(workers=workers, cache=cache, shard_timeout=args.shard_timeout)
+        runner.configure(
+            workers=workers, cache=cache, shard_timeout=args.shard_timeout,
+            exec_workers=exec_workers,
+        )
     else:
-        runner.configure(workers=workers, cache=cache)
+        runner.configure(workers=workers, cache=cache, exec_workers=exec_workers)
     return cache
 
 
@@ -132,23 +154,29 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    ctx = get_context(args.dataset)
-    algo = _algo_by_name(args.algorithm)
-    sim = GPUSimulator(_gpu_by_name(args.gpu))
-    stats = algo.simulate(ctx, sim)
-    if args.json:
-        print(stats_to_json(stats))
-        return 0
-    report = profile_report(stats)
-    print(f"{report.algorithm} on {report.gpu} / {args.dataset}:")
-    print(f"  total {report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS")
-    for stage in report.stages:
-        print(
-            f"  {stage.stage:10s} {stage.seconds * 1e6:9.1f} us  LBI={stage.lbi:.2f}  "
-            f"stalls={stage.sync_stall_pct:.0f}%  L2 read={stage.l2_read_gbs:.0f} GB/s"
-        )
-    if args.iterations > 1:
-        _run_iterative(ctx, algo, args.iterations)
+    exec_workers = _exec_workers_of(args)
+    with rexec.engine_scope(exec_workers if exec_workers > 1 else None) as engine:
+        ctx = get_context(args.dataset)
+        algo = _algo_by_name(args.algorithm)
+        sim = GPUSimulator(_gpu_by_name(args.gpu))
+        stats = algo.simulate(ctx, sim)
+        if args.json:
+            print(stats_to_json(stats))
+            return 0
+        report = profile_report(stats)
+        print(f"{report.algorithm} on {report.gpu} / {args.dataset}:")
+        print(f"  total {report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS")
+        for stage in report.stages:
+            print(
+                f"  {stage.stage:10s} {stage.seconds * 1e6:9.1f} us  LBI={stage.lbi:.2f}  "
+                f"stalls={stage.sync_stall_pct:.0f}%  L2 read={stage.l2_read_gbs:.0f} GB/s"
+            )
+        if args.iterations > 1:
+            _run_iterative(ctx, algo, args.iterations)
+        if engine is not None:
+            from repro.metrics.execprof import format_exec_stats
+
+            print(f"  {format_exec_stats(engine.stats)}")
     return 0
 
 
@@ -315,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the numeric plane N times through an IterativeSession "
              "and print plan-cache amortisation counters",
     )
+    _add_exec_workers_flag(p)
     _add_trace_flag(p)
     p.set_defaults(func=_cmd_run)
 
@@ -372,6 +401,7 @@ def main(argv: list[str] | None = None) -> int:
     # not left with this invocation's cache/workers settings.
     saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
     saved_timeout = runner._DEFAULTS.shard_timeout
+    saved_exec = runner._DEFAULTS.exec_workers
     # --trace wraps the whole invocation in a recorder (the `trace` command
     # owns its own recorder instead, so it can print the tree itself).
     trace_path = getattr(args, "trace", None)
@@ -389,7 +419,8 @@ def main(argv: list[str] | None = None) -> int:
         if recorder is not None:
             obs.uninstall()
         runner.configure(
-            workers=saved_workers, cache=saved_cache, shard_timeout=saved_timeout
+            workers=saved_workers, cache=saved_cache, shard_timeout=saved_timeout,
+            exec_workers=saved_exec,
         )
 
 

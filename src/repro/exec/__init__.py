@@ -1,0 +1,110 @@
+"""repro.exec — the multicore numeric execution plane.
+
+The paper spreads thread-block work evenly across SMs; this package applies
+the same load-balancing discipline to the *numeric* hot path of the
+simulator's host-side kernels.  An :class:`ExecEngine` partitions each
+primitive's work into contiguous ranges sized by per-item flop estimates,
+runs the ranges across a process pool over :mod:`multiprocessing.shared_memory`
+operands, and reassembles results in range order — **bit-identical** to
+serial execution (see :mod:`repro.exec.engine` for the argument).
+
+Like :mod:`repro.obs`, the engine is ambient: drivers install one for the
+duration of a run and the numeric kernels (:mod:`repro.spgemm.expansion`,
+:mod:`repro.spgemm.merge`, :mod:`repro.plan.cache`) consult :func:`active`
+and fall back to their serial bodies when it returns ``None`` — so every
+caller of every scheme gains parallelism with no API change beyond the
+``exec_workers`` knobs.
+
+Usage (drivers)::
+
+    from repro import exec as rexec
+
+    with rexec.engine_scope(4):
+        c = algo.multiply(a, b)        # partitioned, bit-identical
+
+:func:`active` is pid-guarded: a forked child (e.g. a bench shard worker)
+inheriting the parent's module state sees ``None``, never the parent's pool —
+process pools do not survive a fork, and nesting pools would oversubscribe
+the machine.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.exec.engine import (
+    DEFAULT_MIN_ITEMS,
+    ExecEngine,
+    ExecStats,
+    default_exec_workers,
+)
+
+__all__ = [
+    "DEFAULT_MIN_ITEMS",
+    "ExecEngine",
+    "ExecStats",
+    "active",
+    "default_exec_workers",
+    "engine_scope",
+    "install",
+    "uninstall",
+]
+
+_ACTIVE: ExecEngine | None = None
+_ACTIVE_PID: int = -1
+
+
+def active() -> ExecEngine | None:
+    """The installed engine, or ``None`` (always ``None`` in forked children)."""
+    if _ACTIVE is not None and _ACTIVE_PID == os.getpid():
+        return _ACTIVE
+    return None
+
+
+def install(engine: ExecEngine) -> ExecEngine:
+    """Install ``engine`` as this process's ambient execution engine."""
+    global _ACTIVE, _ACTIVE_PID
+    _ACTIVE = engine
+    _ACTIVE_PID = os.getpid()
+    return engine
+
+
+def uninstall() -> ExecEngine | None:
+    """Remove and return the ambient engine (the caller owns its lifetime)."""
+    global _ACTIVE
+    engine, _ACTIVE = active(), None
+    return engine
+
+
+@contextmanager
+def engine_scope(
+    workers: int | ExecEngine | None,
+    *,
+    min_items: int = DEFAULT_MIN_ITEMS,
+):
+    """Install an execution engine for the duration of a ``with`` block.
+
+    ``workers`` may be ``None``/``0``/``1`` (no-op scope: kernels stay
+    serial), an integer pool width (a fresh engine is created and closed on
+    exit), or an existing :class:`ExecEngine` (installed but left open, so a
+    session can reuse one pool across iterations).  Scopes nest; the previous
+    ambient engine is restored on exit.  Yields the installed engine or
+    ``None``.
+    """
+    global _ACTIVE, _ACTIVE_PID
+    if isinstance(workers, ExecEngine):
+        engine, owned = workers, False
+    elif workers is not None and int(workers) > 1:
+        engine, owned = ExecEngine(int(workers), min_items=min_items), True
+    else:
+        yield None
+        return
+    previous, previous_pid = _ACTIVE, _ACTIVE_PID
+    install(engine)
+    try:
+        yield engine
+    finally:
+        _ACTIVE, _ACTIVE_PID = previous, previous_pid
+        if owned:
+            engine.close()

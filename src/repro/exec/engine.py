@@ -1,0 +1,627 @@
+"""The multicore execution engine: partitioned numeric kernels, bit-identical.
+
+An :class:`ExecEngine` owns a process pool plus a shared-memory
+:class:`~repro.exec.shm.SharedArrayRegistry` and parallelises the four
+primitives every numeric path in the library is built from:
+
+* :meth:`ExecEngine.expand_outer_indices` / :meth:`expand_row_indices` —
+  the symbolic expansions, partitioned over pairs / A-entries by the
+  precalculated per-segment product counts (the paper's workload vectors);
+* :meth:`ExecEngine.merge` — the coalescing sort, partitioned over
+  **contiguous output-row buckets** so each bucket's stable sort reproduces
+  the global stable sort restricted to its rows;
+* :meth:`ExecEngine.segmented_sum` / :meth:`gather_multiply_sum` — the
+  numeric halves of merge and recipe replay, partitioned over the sorted
+  product stream at **group boundaries** so every output entry is summed by
+  exactly one worker, in stream order.
+
+Bit-exactness argument, shared by all primitives: partitions are contiguous
+ranges (:mod:`repro.exec.partition`), each worker performs the *same*
+integer index arithmetic and the *same* float64 operations in the *same*
+order as the serial kernel restricted to its range, and results are
+assembled by concatenation in range order.  No reduction ever crosses a
+partition boundary, so the combined output is the serial output, bit for
+bit — asserted across all seven schemes by ``tests/test_exec_equivalence``.
+
+Every primitive degrades gracefully: below :attr:`ExecEngine.min_items`, or
+after any pool/shared-memory failure (the engine then marks itself broken),
+primitives return ``None`` and the caller runs its serial code — results
+are identical either way, the engine only affects wall-clock.
+
+Instrumentation: each primitive records an ``exec.<op>`` span in the parent
+and — when tracing is on — one ``exec.partition[<op>]`` span per partition,
+recorded inside the worker and adopted into the parent trace on its own
+process lane, exactly like the bench engine's shard traces.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pickle import PicklingError
+from typing import TYPE_CHECKING
+
+import multiprocessing
+import numpy as np
+
+from repro import obs
+from repro.errors import ShapeMismatchError
+from repro.exec import shm as shm_module
+from repro.exec.partition import contiguous_blocks, group_aligned_blocks, lpt_order
+from repro.exec.shm import SharedArrayRegistry, ShmRef, attach
+
+if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an exec<->merge cycle
+    from repro.sparse.csc import CSCMatrix
+    from repro.sparse.csr import CSRMatrix
+    from repro.spgemm.merge import MergeRecipe
+
+__all__ = ["ExecStats", "ExecEngine", "default_exec_workers"]
+
+#: Streams below this many items run serially: pool latency would dominate.
+DEFAULT_MIN_ITEMS = 1 << 16
+
+#: Chrome-trace process lane of the first exec partition (bench shards use
+#: small positive lanes; exec partitions park far above them).
+EXEC_LANE_BASE = 1000
+
+_POOL_ERRORS = (BrokenProcessPool, PicklingError, OSError)
+
+
+def default_exec_workers() -> int:
+    """Worker count for ``--exec-workers 0`` / "use the machine"."""
+    return max(1, os.cpu_count() or 1)
+
+
+class _Fallback(Exception):
+    """Internal: the pool failed; the caller must run its serial path."""
+
+
+@dataclass
+class ExecStats:
+    """Execution counters for one engine (mirrors ``PlanCacheStats``).
+
+    ``parallel_calls`` primitives ran partitioned; ``serial_calls`` fell
+    below the size threshold; ``fallbacks`` hit a pool/shared-memory failure
+    and were re-run serially by the caller.  ``partitions``/``items`` total
+    the partitioned work; ``publish_hits``/``publish_misses`` count
+    shared-memory reuse of stable arrays (operands, recipe gathers).
+    """
+
+    parallel_calls: int = 0
+    serial_calls: int = 0
+    fallbacks: int = 0
+    partitions: int = 0
+    items: int = 0
+    publish_hits: int = 0
+    publish_misses: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-able snapshot, used by bench artifacts and ``repro run``."""
+        return {
+            "parallel_calls": self.parallel_calls,
+            "serial_calls": self.serial_calls,
+            "fallbacks": self.fallbacks,
+            "partitions": self.partitions,
+            "items": self.items,
+            "publish_hits": self.publish_hits,
+            "publish_misses": self.publish_misses,
+        }
+
+
+def _cleanup(holder: dict) -> None:
+    """Finalizer body: release the pool and every shared segment."""
+    pool = holder.get("pool")
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+        holder["pool"] = None
+    registry = holder.get("registry")
+    if registry is not None:
+        registry.close()
+
+
+class ExecEngine:
+    """A process pool + shared-memory registry running partitioned kernels.
+
+    Attributes:
+        workers: pool width (1 disables parallelism entirely).
+        min_items: streams shorter than this run serially (pool latency
+            would dominate); tests set 0 to force the partitioned path.
+        stats: the engine's :class:`ExecStats` counters.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        min_items: int = DEFAULT_MIN_ITEMS,
+        publish_budget: int | None = None,
+    ) -> None:
+        self.workers = max(1, int(workers))
+        self.min_items = max(0, int(min_items))
+        self.stats = ExecStats()
+        registry = (
+            SharedArrayRegistry(publish_budget)
+            if publish_budget is not None
+            else SharedArrayRegistry()
+        )
+        self.registry = registry
+        self._holder: dict = {"pool": None, "registry": registry}
+        self._broken = False
+        self._finalize = weakref.finalize(self, _cleanup, self._holder)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment."""
+        _cleanup(self._holder)
+
+    def _pool(self) -> ProcessPoolExecutor:
+        pool = self._holder["pool"]
+        if pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(ctx.get_start_method() != "fork",),
+            )
+            self._holder["pool"] = pool
+        return pool
+
+    def _should(self, n_items: int) -> bool:
+        """Is the partitioned path worth taking for a stream of this size?"""
+        if self.workers <= 1 or self._broken or n_items <= 0:
+            return False
+        if n_items < self.min_items:
+            self.stats.serial_calls += 1
+            return False
+        return True
+
+    def _n_blocks(self) -> int:
+        # Two blocks per worker: enough slack for LPT submission to absorb
+        # one overloaded partition without oversubscribing the pool.
+        return self.workers * 2
+
+    def _run_tasks(self, op: str, tasks: list[dict]) -> list:
+        """Run one primitive's partition tasks; results in partition order.
+
+        Tasks are submitted heaviest-first (LPT) onto the dynamic pool and
+        reassembled by partition index.  Pool-level failures poison the
+        engine and raise :class:`_Fallback`; errors raised by the kernel
+        code itself propagate unchanged.
+        """
+        trace = obs.is_enabled()
+        try:
+            pool = self._pool()
+            order = lpt_order([task.get("weight", 0) for task in tasks])
+            futures = {i: pool.submit(_run_task, op, tasks[i], trace) for i in order}
+            results: list = [None] * len(tasks)
+            for i, future in futures.items():
+                results[i], spans = future.result()
+                if spans:
+                    obs.adopt(spans, pid=EXEC_LANE_BASE + i)
+        except _POOL_ERRORS:
+            self._broken = True
+            self.stats.fallbacks += 1
+            raise _Fallback from None
+        self.stats.parallel_calls += 1
+        self.stats.partitions += len(tasks)
+        self.stats.publish_hits = self.registry.publish_hits
+        self.stats.publish_misses = self.registry.publish_misses
+        return results
+
+    # -- expansion primitives ------------------------------------------
+    def expand_outer_indices(
+        self, a_csc: "CSCMatrix", b_csr: "CSRMatrix"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Partitioned symbolic outer-product expansion, or ``None``.
+
+        Partitions the pair axis by the precalculated per-pair product
+        counts (``col_nnz(A) * row_nnz(B)``, the paper's block-wise nnz);
+        each worker reproduces the serial index arithmetic for its
+        contiguous pair range and writes into the global output at the
+        range's precomputed offset.
+        """
+        counts = np.diff(a_csc.indptr) * np.diff(b_csr.indptr)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        total = int(offsets[-1])
+        if not self._should(total):
+            return None
+        blocks = contiguous_blocks(counts, self._n_blocks())
+        with obs.span("exec.expand_outer", "exec", items=total, partitions=len(blocks)):
+            try:
+                inputs = {
+                    "a_indptr": self.registry.publish(a_csc.indptr),
+                    "a_indices": self.registry.publish(a_csc.indices),
+                    "b_indptr": self.registry.publish(b_csr.indptr),
+                    "b_indices": self.registry.publish(b_csr.indices),
+                }
+                out_refs, out_views = self._outputs(total, 4)
+                tasks = [
+                    {
+                        **inputs,
+                        "out": out_refs,
+                        "lo": lo,
+                        "hi": hi,
+                        "out_off": int(offsets[lo]),
+                        "weight": int(offsets[hi] - offsets[lo]),
+                    }
+                    for lo, hi in blocks
+                ]
+                self._run_tasks("expand_outer", tasks)
+                self.stats.items += total
+                return tuple(view.copy() for view in out_views)
+            except _Fallback:
+                return None
+            finally:
+                self.registry.release_scratch()
+
+    def expand_row_indices(
+        self, a_csr: "CSRMatrix", b_csr: "CSRMatrix"
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Partitioned symbolic row-product expansion, or ``None``.
+
+        Partitions the stored entries of ``A`` (Gustavson's outer loop is
+        per A-entry) by each entry's product count ``row_nnz(B)[col]``.
+        """
+        per_entry = np.diff(b_csr.indptr)[a_csr.indices]
+        offsets = np.concatenate(([0], np.cumsum(per_entry)))
+        total = int(offsets[-1])
+        if not self._should(total):
+            return None
+        blocks = contiguous_blocks(per_entry, self._n_blocks())
+        with obs.span("exec.expand_row", "exec", items=total, partitions=len(blocks)):
+            try:
+                inputs = {
+                    "a_indptr": self.registry.publish(a_csr.indptr),
+                    "a_indices": self.registry.publish(a_csr.indices),
+                    "b_indptr": self.registry.publish(b_csr.indptr),
+                    "b_indices": self.registry.publish(b_csr.indices),
+                }
+                out_refs, out_views = self._outputs(total, 4)
+                tasks = [
+                    {
+                        **inputs,
+                        "out": out_refs,
+                        "lo": lo,
+                        "hi": hi,
+                        "out_off": int(offsets[lo]),
+                        "weight": int(offsets[hi] - offsets[lo]),
+                    }
+                    for lo, hi in blocks
+                ]
+                self._run_tasks("expand_row", tasks)
+                self.stats.items += total
+                return tuple(view.copy() for view in out_views)
+            except _Fallback:
+                return None
+            finally:
+                self.registry.release_scratch()
+
+    def _outputs(self, total: int, n: int) -> tuple[list[ShmRef], list[np.ndarray]]:
+        """Allocate ``n`` int64 scratch output columns of length ``total``."""
+        refs, views = [], []
+        for _ in range(n):
+            ref, view = self.registry.scratch((total,), np.int64)
+            refs.append(ref)
+            views.append(view)
+        return refs, views
+
+    # -- merge primitives ----------------------------------------------
+    def merge(
+        self, rows: np.ndarray, cols: np.ndarray, shape: tuple[int, int]
+    ) -> "MergeRecipe | None":
+        """Partitioned coalescing sort: the symbolic half of the merge.
+
+        Output rows are partitioned into contiguous buckets balanced by
+        per-row triplet counts; each worker selects its bucket's triplets
+        (preserving emission order), stable-sorts them by output coordinate
+        and numbers its duplicate groups.  Because bucket key ranges are
+        disjoint and ascending, concatenating the buckets *is* the global
+        stable sort — the recipe is field-for-field identical to
+        :func:`repro.spgemm.merge.plan_merge`.
+        """
+        from repro.spgemm.merge import MergeRecipe
+
+        n = len(rows)
+        if not self._should(n):
+            return None
+        n_rows, n_cols = shape
+        if int(rows.max()) >= n_rows or int(cols.max()) >= n_cols:
+            raise ShapeMismatchError("triplet coordinate out of range")
+        trip_per_row = np.bincount(rows, minlength=n_rows)
+        blocks = contiguous_blocks(trip_per_row, self._n_blocks())
+        bucket_counts = [int(trip_per_row[lo:hi].sum()) for lo, hi in blocks]
+        seg_offs = np.concatenate(([0], np.cumsum(bucket_counts)))
+        with obs.span("exec.merge", "exec", items=n, partitions=len(blocks)):
+            try:
+                rows_ref = self.registry.share_scratch(rows)
+                cols_ref = self.registry.share_scratch(cols)
+                order_ref, order_view = self.registry.scratch((n,), np.int64)
+                group_ref, group_view = self.registry.scratch((n,), np.int64)
+                ucols_ref, ucols_view = self.registry.scratch((n,), np.int64)
+                rnnz_ref, rnnz_view = self.registry.scratch((n_rows,), np.int64)
+                tasks = [
+                    {
+                        "rows": rows_ref,
+                        "cols": cols_ref,
+                        "order": order_ref,
+                        "group": group_ref,
+                        "ucols": ucols_ref,
+                        "rownnz": rnnz_ref,
+                        "n_cols": int(n_cols),
+                        "r_lo": lo,
+                        "r_hi": hi,
+                        "seg_off": int(seg_offs[i]),
+                        "count": bucket_counts[i],
+                        "weight": bucket_counts[i],
+                    }
+                    for i, (lo, hi) in enumerate(blocks)
+                ]
+                uniques = self._run_tasks("merge_bucket", tasks)
+                self.stats.items += n
+                # Renumber bucket-local duplicate groups into the global
+                # sequence and splice each bucket's unique columns out of
+                # its conservatively sized segment.
+                n_groups = 0
+                parts = []
+                for i, nu in enumerate(uniques):
+                    seg = slice(int(seg_offs[i]), int(seg_offs[i + 1]))
+                    if n_groups:
+                        group_view[seg] += n_groups
+                    parts.append(ucols_view[seg.start : seg.start + nu])
+                    n_groups += nu
+                indices = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+                indptr = np.zeros(n_rows + 1, dtype=np.int64)
+                np.cumsum(rnnz_view, out=indptr[1:])
+                return MergeRecipe(
+                    shape, order_view.copy(), group_view.copy(), n_groups, indptr, indices
+                )
+            except _Fallback:
+                return None
+            finally:
+                self.registry.release_scratch()
+
+    def segmented_sum(
+        self, vals: np.ndarray, order: np.ndarray, group: np.ndarray, n_groups: int
+    ) -> np.ndarray | None:
+        """Partitioned numeric merge: ``sum vals[order] by group``, or ``None``.
+
+        The product stream is cut at group boundaries, so each output entry
+        is accumulated by exactly one worker in stream order — bit-identical
+        to the serial ``np.add.at``.  ``order``/``group`` are a recipe's
+        long-lived arrays (published once); ``vals`` is per-call.
+        """
+        return self._sum_by_group(
+            "segmented_sum", {"vals": self.registry.share_scratch}, {"vals": vals},
+            order=order, group=group, n_groups=n_groups,
+        )
+
+    def gather_multiply_sum(
+        self,
+        a_data: np.ndarray,
+        b_data: np.ndarray,
+        a_gather: np.ndarray,
+        b_gather: np.ndarray,
+        group: np.ndarray,
+        n_groups: int,
+    ) -> np.ndarray | None:
+        """Partitioned numeric replay: gather, multiply and sum by group.
+
+        The whole hot path of :meth:`NumericRecipe.replay` in one primitive:
+        workers gather their slice of both operands' values, multiply, and
+        segment-sum — the same float64 operations in the same order as the
+        serial replay.  The gather/group arrays are published once per
+        recipe; only the fresh operand values cross into shared memory per
+        call.
+        """
+        return self._sum_by_group(
+            "gather_sum",
+            {
+                "a_gather": self.registry.publish,
+                "b_gather": self.registry.publish,
+                "a_data": self.registry.share_scratch,
+                "b_data": self.registry.share_scratch,
+            },
+            {"a_gather": a_gather, "b_gather": b_gather, "a_data": a_data, "b_data": b_data},
+            order=None, group=group, n_groups=n_groups,
+        )
+
+    def _sum_by_group(
+        self, op, sharers, arrays, *, order, group, n_groups
+    ) -> np.ndarray | None:
+        """Common body of the two group-summing primitives."""
+        n = len(group)
+        if not self._should(n):
+            return None
+        blocks = group_aligned_blocks(group, self._n_blocks())
+        with obs.span(f"exec.{op}", "exec", items=n, partitions=len(blocks)):
+            try:
+                inputs = {key: share(arrays[key]) for key, share in sharers.items()}
+                inputs["group"] = self.registry.publish(group)
+                if order is not None:
+                    inputs["order"] = self.registry.publish(order)
+                out_ref, out_view = self.registry.scratch((max(1, n_groups),), np.float64)
+                tasks = [
+                    {
+                        **inputs,
+                        "out": out_ref,
+                        "lo": lo,
+                        "hi": hi,
+                        "g_lo": int(group[lo]),
+                        "g_hi": int(group[hi - 1]) + 1,
+                        "weight": hi - lo,
+                    }
+                    for lo, hi in blocks
+                ]
+                self._run_tasks(op, tasks)
+                self.stats.items += n
+                return out_view[:n_groups].copy()
+            except _Fallback:
+                return None
+            finally:
+                self.registry.release_scratch()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ExecEngine workers={self.workers} min_items={self.min_items}>"
+
+
+# ----------------------------------------------------------------------
+# Worker side: one function per op, each the serial kernel restricted to a
+# contiguous range.  The index arithmetic deliberately mirrors
+# repro.spgemm.expansion / repro.spgemm.merge line for line — the
+# equivalence tests hold the two in lockstep.
+# ----------------------------------------------------------------------
+def _worker_init(own_tracker: bool) -> None:
+    """Per-worker setup: drop the recorder a fork child inherited (recording
+    into that copy would be lost; tasks install their own when tracing) and
+    configure shared-memory tracker accounting for the pool's start method."""
+    obs.uninstall()
+    shm_module.set_unregister_on_attach(own_tracker)
+
+
+def _run_task(op: str, task: dict, trace: bool) -> tuple[object, list[dict] | None]:
+    """Worker entry: run one partition, optionally under a shipped span."""
+    if not trace:
+        return _OPS[op](task), None
+    recorder = obs.install()
+    try:
+        with obs.span(f"exec.partition[{op}]", "exec", items=int(task.get("weight", 0))):
+            result = _OPS[op](task)
+    finally:
+        obs.uninstall()
+    return result, recorder.to_dicts()
+
+
+def _segment_offsets_local(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``repro.spgemm.expansion._segment_offsets`` for a local slice."""
+    total = int(counts.sum())
+    seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+    starts = np.cumsum(counts) - counts
+    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    return seg_of, offsets
+
+
+def _op_expand_outer(task: dict) -> int:
+    """Outer-product expansion of pairs ``[lo, hi)`` into the shared output."""
+    a_indptr = attach(task["a_indptr"])
+    a_indices = attach(task["a_indices"])
+    b_indptr = attach(task["b_indptr"])
+    b_indices = attach(task["b_indices"])
+    lo, hi = task["lo"], task["hi"]
+    na = a_indptr[lo + 1 : hi + 1] - a_indptr[lo:hi]
+    nb = b_indptr[lo + 1 : hi + 1] - b_indptr[lo:hi]
+    counts = na * nb
+    pair_of, offsets = _segment_offsets_local(counts)
+    nb_per = nb[pair_of]
+    a_pos = offsets // np.maximum(nb_per, 1)
+    b_pos = offsets % np.maximum(nb_per, 1)
+    a_idx = a_indptr[lo:hi][pair_of] + a_pos
+    b_idx = b_indptr[lo:hi][pair_of] + b_pos
+    out = slice(task["out_off"], task["out_off"] + len(a_idx))
+    rows_out, cols_out, aidx_out, bidx_out = (attach(ref) for ref in task["out"])
+    rows_out[out] = a_indices[a_idx]
+    cols_out[out] = b_indices[b_idx]
+    aidx_out[out] = a_idx
+    bidx_out[out] = b_idx
+    return len(a_idx)
+
+
+def _op_expand_row(task: dict) -> int:
+    """Row-product expansion of A entries ``[lo, hi)`` into the shared output."""
+    a_indptr = attach(task["a_indptr"])
+    a_indices = attach(task["a_indices"])
+    b_indptr = attach(task["b_indptr"])
+    b_indices = attach(task["b_indices"])
+    lo, hi = task["lo"], task["hi"]
+    b_cols = a_indices[lo:hi]
+    per_entry = b_indptr[b_cols + 1] - b_indptr[b_cols]
+    entry_of, offsets = _segment_offsets_local(per_entry)
+    # Row of each A entry: the serial kernel's repeat(arange, row_nnz)
+    # gather, recomputed for the slice by inverting the row pointers.
+    entry_rows = (
+        np.searchsorted(a_indptr, np.arange(lo, hi, dtype=np.int64), side="right") - 1
+    )
+    b_idx = b_indptr[b_cols[entry_of]] + offsets
+    out = slice(task["out_off"], task["out_off"] + len(b_idx))
+    rows_out, cols_out, aidx_out, bidx_out = (attach(ref) for ref in task["out"])
+    rows_out[out] = entry_rows[entry_of]
+    cols_out[out] = b_indices[b_idx]
+    aidx_out[out] = entry_of + lo
+    bidx_out[out] = b_idx
+    return len(b_idx)
+
+
+def _op_merge_bucket(task: dict) -> int:
+    """Stable-sort one contiguous row bucket of the triplet stream.
+
+    Writes the bucket's slice of the global sort permutation, duplicate
+    groups (bucket-local numbering; the parent renumbers), unique output
+    columns and per-row unique counts.  Returns the bucket's unique count.
+    """
+    rows = attach(task["rows"])
+    cols = attach(task["cols"])
+    r_lo, r_hi, n_cols = task["r_lo"], task["r_hi"], task["n_cols"]
+    idx = np.flatnonzero((rows >= r_lo) & (rows < r_hi))
+    if len(idx) != task["count"]:  # pragma: no cover - internal invariant
+        raise RuntimeError(
+            f"merge bucket [{r_lo},{r_hi}) selected {len(idx)} triplets, "
+            f"expected {task['count']}"
+        )
+    seg = slice(task["seg_off"], task["seg_off"] + len(idx))
+    rownnz_out = attach(task["rownnz"])
+    if len(idx) == 0:
+        rownnz_out[r_lo:r_hi] = 0
+        return 0
+    keys = rows[idx].astype(np.int64) * np.int64(n_cols) + cols[idx]
+    local_order = np.argsort(keys, kind="stable")
+    keys = keys[local_order]
+    boundaries = np.empty(len(keys), dtype=bool)
+    boundaries[0] = True
+    boundaries[1:] = keys[1:] != keys[:-1]
+    attach(task["order"])[seg] = idx[local_order]
+    attach(task["group"])[seg] = np.cumsum(boundaries) - 1
+    unique_keys = keys[boundaries]
+    nu = len(unique_keys)
+    ucols_out = attach(task["ucols"])
+    ucols_out[seg.start : seg.start + nu] = unique_keys % n_cols
+    urows = (unique_keys // n_cols).astype(np.int64)
+    rownnz_out[r_lo:r_hi] = np.bincount(urows - r_lo, minlength=r_hi - r_lo)
+    return nu
+
+
+def _op_segmented_sum(task: dict) -> int:
+    """Sum ``vals[order]`` by group over products ``[lo, hi)`` (group-aligned)."""
+    lo, hi, g_lo, g_hi = task["lo"], task["hi"], task["g_lo"], task["g_hi"]
+    vals = attach(task["vals"])
+    order = attach(task["order"])
+    group = attach(task["group"])
+    local = np.zeros(g_hi - g_lo, dtype=np.float64)
+    np.add.at(local, group[lo:hi] - g_lo, vals[order[lo:hi]])
+    attach(task["out"])[g_lo:g_hi] = local
+    return hi - lo
+
+
+def _op_gather_sum(task: dict) -> int:
+    """Gather-multiply-sum one group-aligned slice of a replay's products."""
+    lo, hi, g_lo, g_hi = task["lo"], task["hi"], task["g_lo"], task["g_hi"]
+    a_data = attach(task["a_data"])
+    b_data = attach(task["b_data"])
+    vals = a_data[attach(task["a_gather"])[lo:hi]] * b_data[attach(task["b_gather"])[lo:hi]]
+    group = attach(task["group"])
+    local = np.zeros(g_hi - g_lo, dtype=np.float64)
+    np.add.at(local, group[lo:hi] - g_lo, vals)
+    attach(task["out"])[g_lo:g_hi] = local
+    return hi - lo
+
+
+_OPS = {
+    "expand_outer": _op_expand_outer,
+    "expand_row": _op_expand_row,
+    "merge_bucket": _op_merge_bucket,
+    "segmented_sum": _op_segmented_sum,
+    "gather_sum": _op_gather_sum,
+}

@@ -1,0 +1,89 @@
+"""Deterministic work partitioning for the multicore numeric plane.
+
+The paper's Block Reorganizer balances thread-block work across SMs by
+classifying blocks as overloaded/underloaded and redistributing them; the
+execution plane applies the same idea one level up, spreading *kernel* work
+across worker processes.  Partitions are always **contiguous** index ranges —
+contiguity is what makes the parallel results bit-identical to serial
+execution, because every combining step is then a plain concatenation in
+range order — and are sized by per-item cost estimates (per-row or per-pair
+flop counts), not item counts, mirroring the paper's precalculated workload
+vectors.
+
+Scheduling follows the bench engine's idiom: partitions are *submitted*
+largest-first (LPT order) onto a dynamic pool, so one overloaded partition
+does not serialise the tail of the call, while *assembly* always happens in
+range order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["contiguous_blocks", "group_aligned_blocks", "lpt_order"]
+
+
+def contiguous_blocks(
+    weights: np.ndarray, n_blocks: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, len(weights))`` into contiguous ranges of near-equal load.
+
+    Cuts are placed on the weight prefix sum at the ideal per-block load, so
+    a hub row (one item heavier than a whole block's budget) gets a block of
+    its own and the remainder rebalances around it — the overloaded /
+    underloaded split of the paper's classification, applied to ranges.
+    Always covers the full index range (trailing zero-weight items included)
+    and never returns an empty range; the result is a pure function of
+    ``(weights, n_blocks)``.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    n_blocks = max(1, min(int(n_blocks), n))
+    if n_blocks == 1:
+        return [(0, n)]
+    cum = np.cumsum(weights, dtype=np.float64)
+    total = float(cum[-1])
+    if total <= 0.0:
+        # No cost signal: fall back to even item counts.
+        bounds = np.linspace(0, n, n_blocks + 1).astype(np.int64)
+    else:
+        targets = total * np.arange(1, n_blocks, dtype=np.float64) / n_blocks
+        cuts = np.searchsorted(cum, targets, side="left") + 1
+        bounds = np.concatenate(([0], cuts, [n]))
+    bounds = np.unique(np.clip(bounds, 0, n))
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def group_aligned_blocks(
+    group: np.ndarray, n_blocks: int
+) -> list[tuple[int, int]]:
+    """Split a *group-sorted* stream into contiguous, group-aligned ranges.
+
+    ``group`` is a non-decreasing array mapping each stream element to its
+    summation target (a merge recipe's ``group`` column).  Cuts are placed at
+    even stream positions and then snapped left to the nearest group
+    boundary, so every group lies entirely inside one range — the property
+    that makes per-range segmented sums combine into the serial result by
+    concatenation, with every group still summed in stream order.
+    """
+    n = len(group)
+    if n == 0:
+        return []
+    n_blocks = max(1, min(int(n_blocks), n))
+    if n_blocks == 1:
+        return [(0, n)]
+    raw = np.linspace(0, n, n_blocks + 1).astype(np.int64)[1:-1]
+    snapped = np.searchsorted(group, group[raw], side="left")
+    bounds = np.unique(np.concatenate(([0], snapped, [n])))
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def lpt_order(block_weights: list[float]) -> list[int]:
+    """Submission order for blocks: heaviest first, index-stable on ties.
+
+    With a dynamic pool this is longest-processing-time scheduling — the
+    same discipline the bench engine uses for dataset shards — and it is
+    deterministic: equal weights keep their range order.
+    """
+    return sorted(range(len(block_weights)), key=lambda i: (-float(block_weights[i]), i))

@@ -1,0 +1,200 @@
+"""Shared-memory array plumbing for the multicore numeric plane.
+
+Worker processes must read operand CSR/CSC arrays and write partition
+results without serialising megabytes through pickle pipes, so the engine
+moves every large array through :mod:`multiprocessing.shared_memory`
+segments and ships only tiny :class:`ShmRef` descriptors with each task.
+
+Two sides:
+
+* **Parent** — a :class:`SharedArrayRegistry` owns the segments.  Stable
+  arrays (operand columns, a recipe's gather/group arrays) are *published*
+  once and found again by object identity on later calls, so an iterative
+  replay pays the copy-in exactly once per structure; scratch segments
+  (per-call triplet streams and outputs) are allocated per primitive call
+  and unlinked as soon as the call assembles its result.
+* **Worker** — :func:`attach` maps a ref back to an ndarray view, caching
+  attachments per process (LRU) so repeated tasks against the same operand
+  segment re-map nothing.
+
+Cleanup: the registry unlinks everything it created on :meth:`close` (the
+engine registers this with :mod:`weakref` finalisation).  Resource-tracker
+accounting depends on the pool's start method: forked workers share the
+parent's tracker (attaching is a harmless re-register of a known name), but
+spawned workers own a private tracker that would *unlink parent-owned
+segments* when the worker exits — so the pool initializer flips
+:func:`set_unregister_on_attach` and workers then withdraw each attachment
+from their own tracker.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections import OrderedDict
+from multiprocessing import resource_tracker, shared_memory
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = ["ShmRef", "SharedArrayRegistry", "attach"]
+
+#: Parent-side cap on bytes held for published (stable) arrays before the
+#: least-recently-used segments are evicted.
+DEFAULT_PUBLISH_BUDGET = 1 << 30
+
+#: Worker-side cap on cached attachments (segments, not bytes).
+_ATTACH_CACHE_SIZE = 64
+
+
+class ShmRef(NamedTuple):
+    """A picklable handle to one ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+def _as_array(ref: ShmRef, shm: shared_memory.SharedMemory) -> np.ndarray:
+    """An ndarray view over a segment's buffer (no copy)."""
+    return np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=shm.buf)
+
+
+class SharedArrayRegistry:
+    """Parent-side owner of shared-memory segments (published + scratch)."""
+
+    def __init__(self, publish_budget: int = DEFAULT_PUBLISH_BUDGET) -> None:
+        self.publish_budget = int(publish_budget)
+        # id(array) -> (array strong ref, ShmRef, shm); the strong ref keeps
+        # the id stable for as long as the cache entry lives.
+        self._published: OrderedDict[int, tuple[np.ndarray, ShmRef, shared_memory.SharedMemory]]
+        self._published = OrderedDict()
+        self._published_bytes = 0
+        self._scratch: list[shared_memory.SharedMemory] = []
+        self.publish_hits = 0
+        self.publish_misses = 0
+
+    # -- published (stable) arrays -------------------------------------
+    def publish(self, array: np.ndarray) -> ShmRef:
+        """Copy ``array`` into shared memory once; reuse on identity hits.
+
+        Keyed by object identity: callers publish long-lived arrays (operand
+        columns, recipe gathers) whose object survives across calls, so the
+        second and later calls cost a dict lookup, not a copy.
+        """
+        key = id(array)
+        entry = self._published.get(key)
+        if entry is not None and entry[0] is array:
+            self._published.move_to_end(key)
+            self.publish_hits += 1
+            return entry[1]
+        self.publish_misses += 1
+        array = np.ascontiguousarray(array)
+        ref, shm = self._create(array.shape, array.dtype)
+        _as_array(ref, shm)[...] = array
+        self._published[key] = (array, ref, shm)
+        self._published_bytes += shm.size
+        self._evict()
+        return ref
+
+    def _evict(self) -> None:
+        while self._published_bytes > self.publish_budget and len(self._published) > 1:
+            _, (_, _, shm) = self._published.popitem(last=False)
+            self._published_bytes -= shm.size
+            _destroy(shm)
+
+    # -- scratch (per-call) arrays -------------------------------------
+    def scratch(self, shape: tuple[int, ...], dtype) -> tuple[ShmRef, np.ndarray]:
+        """Allocate an output segment for one primitive call.
+
+        Returns the ref (for workers) and the parent's writable view; freed
+        on the next :meth:`release_scratch`.
+        """
+        ref, shm = self._create(shape, np.dtype(dtype))
+        self._scratch.append(shm)
+        return ref, _as_array(ref, shm)
+
+    def share_scratch(self, array: np.ndarray) -> ShmRef:
+        """Copy an ephemeral input (e.g. a triplet stream) into scratch."""
+        ref, view = self.scratch(array.shape, array.dtype)
+        view[...] = array
+        return ref
+
+    def release_scratch(self) -> None:
+        """Unlink every scratch segment of the completed call."""
+        scratch, self._scratch = self._scratch, []
+        for shm in scratch:
+            _destroy(shm)
+
+    # -- lifecycle ------------------------------------------------------
+    def _create(self, shape, dtype) -> tuple[ShmRef, shared_memory.SharedMemory]:
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize)
+        shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=f"repro-exec-{secrets.token_hex(8)}"
+        )
+        return ShmRef(shm.name, tuple(int(s) for s in shape), np.dtype(dtype).str), shm
+
+    def close(self) -> None:
+        """Unlink every segment this registry still owns."""
+        for _, _, shm in self._published.values():
+            _destroy(shm)
+        self._published.clear()
+        self._published_bytes = 0
+        self.release_scratch()
+
+
+def _destroy(shm: shared_memory.SharedMemory) -> None:
+    """Close and unlink one segment, tolerating an already-gone file."""
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - a live view pins the mapping
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_ATTACHED: OrderedDict[str, shared_memory.SharedMemory] = OrderedDict()
+
+#: When True (spawned workers: private resource tracker), each attachment is
+#: withdrawn from this process's tracker so a worker exit cannot unlink
+#: segments the parent still owns.  Forked workers share the parent's tracker
+#: and must NOT unregister — that would erase the parent's own registration.
+_UNREGISTER_ON_ATTACH = False
+
+
+def set_unregister_on_attach(flag: bool) -> None:
+    """Configure worker-side tracker accounting (see the module docstring)."""
+    global _UNREGISTER_ON_ATTACH
+    _UNREGISTER_ON_ATTACH = bool(flag)
+
+
+def attach(ref: ShmRef) -> np.ndarray:
+    """Map a ref to an ndarray view inside a worker process.
+
+    Attachments are cached per process so repeated tasks against the same
+    published segment re-map nothing; the cache is LRU-bounded and eviction
+    tolerates views that are still alive.  The *parent* owns every segment's
+    lifetime; tracker accounting follows :func:`set_unregister_on_attach`.
+    """
+    shm = _ATTACHED.get(ref.name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=ref.name)
+        if _UNREGISTER_ON_ATTACH:
+            try:  # the parent owns this segment's lifetime, not this worker
+                resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+            except Exception:  # pragma: no cover - tracker internals vary
+                pass
+        _ATTACHED[ref.name] = shm
+        while len(_ATTACHED) > _ATTACH_CACHE_SIZE:
+            _, old = _ATTACHED.popitem(last=False)
+            try:
+                old.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+    else:
+        _ATTACHED.move_to_end(ref.name)
+    return _as_array(ref, shm)

@@ -1,0 +1,26 @@
+"""Execution-plane profiling: render repro.exec engine counters.
+
+The multicore execution plane (:mod:`repro.exec`) counts how its primitives
+actually ran — partitioned across the pool, serially below the size
+threshold, or re-run serially after a pool failure — plus partition/item
+totals and shared-memory publish reuse.  :func:`format_exec_stats` renders
+an :class:`~repro.exec.ExecStats` snapshot for ``repro run --exec-workers``
+and the exec bench (``tools/bench_exec.py``), mirroring
+:func:`~repro.metrics.planprof.format_cache_stats` for the plan cache.
+"""
+
+from __future__ import annotations
+
+from repro.exec import ExecStats
+
+__all__ = ["ExecStats", "format_exec_stats"]
+
+
+def format_exec_stats(stats: ExecStats) -> str:
+    """One-line human-readable rendering of execution-engine counters."""
+    return (
+        f"exec engine: {stats.parallel_calls} parallel calls "
+        f"({stats.partitions} partitions, {stats.items} items), "
+        f"{stats.serial_calls} below threshold, {stats.fallbacks} fallbacks, "
+        f"shm publishes {stats.publish_hits} reused / {stats.publish_misses} copied"
+    )

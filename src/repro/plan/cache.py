@@ -39,6 +39,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import exec as rexec
 from repro import obs
 from repro.sparse.csr import CSRMatrix
 
@@ -125,6 +126,15 @@ class NumericRecipe:
 
     def replay(self, a_data: np.ndarray, b_data: np.ndarray) -> CSRMatrix:
         """Re-run the numeric phase against fresh operand values."""
+        engine = rexec.active()
+        if engine is not None:
+            summed = engine.gather_multiply_sum(
+                a_data, b_data, self.a_gather, self.b_gather, self.group, self.n_groups
+            )
+            if summed is not None:  # else: below threshold / pool broke -> serial
+                return CSRMatrix(
+                    self.shape, self.indptr.copy(), self.indices.copy(), summed
+                )
         summed = np.zeros(self.n_groups, dtype=np.float64)
         np.add.at(summed, self.group, a_data[self.a_gather] * b_data[self.b_gather])
         return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), summed)

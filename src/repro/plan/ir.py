@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
+from repro import exec as rexec
 from repro import obs
 from repro.errors import PlanError
 from repro.gpusim.block import BlockArray
@@ -388,20 +389,35 @@ class ExecutionPlan:
         )
 
     # -- numeric plane ---------------------------------------------------
-    def execute(self, ctx: MultiplyContext) -> CSRMatrix:
+    def execute(
+        self, ctx: MultiplyContext, *, exec_workers: int | None = None
+    ) -> CSRMatrix:
         """Run the numeric kernels in phase order and coalesce the result."""
-        return self.execute_instrumented(ctx)[0]
+        return self.execute_instrumented(ctx, exec_workers=exec_workers)[0]
 
     def execute_instrumented(
-        self, ctx: MultiplyContext, state: NumericState | None = None
+        self,
+        ctx: MultiplyContext,
+        state: NumericState | None = None,
+        *,
+        exec_workers: int | None = None,
     ) -> tuple[CSRMatrix, list[PhaseExecution]]:
         """Numeric execution with per-phase instrumentation records.
 
         Enforces the IR's core invariant: a device expansion phase's kernel
         must emit exactly ``blocks.total_ops`` products.  An externally built
         ``state`` (e.g. one tracking provenance for the plan cache) may be
-        supplied; it must wrap the same ``ctx``.
+        supplied; it must wrap the same ``ctx``.  ``exec_workers`` installs a
+        scoped :mod:`repro.exec` engine so the expansion/merge primitives run
+        partitioned across a process pool (bit-identical to serial); when
+        ``None``, any ambient engine installed by the caller still applies.
         """
+        with rexec.engine_scope(exec_workers):
+            return self._execute_instrumented(ctx, state)
+
+    def _execute_instrumented(
+        self, ctx: MultiplyContext, state: NumericState | None
+    ) -> tuple[CSRMatrix, list[PhaseExecution]]:
         if state is None:
             state = NumericState(ctx)
         records: list[PhaseExecution] = []

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import exec as rexec
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import check_multipliable
@@ -51,6 +52,11 @@ def expand_outer_indices(
     values reuse the expansion structure without recomputing it.
     """
     check_multipliable(a_csc.shape, b_csr.shape)
+    engine = rexec.active()
+    if engine is not None:
+        out = engine.expand_outer_indices(a_csc, b_csr)
+        if out is not None:  # else: below threshold / pool broke -> serial
+            return out
     na = a_csc.col_nnz()
     nb = b_csr.row_nnz()
     counts = na * nb
@@ -87,6 +93,11 @@ def expand_row_indices(
     :func:`expand_outer_indices` for the Gustavson formulation.
     """
     check_multipliable(a_csr.shape, b_csr.shape)
+    engine = rexec.active()
+    if engine is not None:
+        out = engine.expand_row_indices(a_csr, b_csr)
+        if out is not None:  # else: below threshold / pool broke -> serial
+            return out
     b_row_nnz = b_csr.row_nnz()
     per_entry = b_row_nnz[a_csr.indices]
     entry_of, offsets = _segment_offsets(per_entry)

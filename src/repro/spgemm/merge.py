@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import exec as rexec
 from repro.errors import ShapeMismatchError
 from repro.sparse.csr import CSRMatrix
 
@@ -71,6 +72,13 @@ class MergeRecipe:
         in-order accumulation), so the result is bit-identical to a cold
         merge of the same stream.
         """
+        engine = rexec.active()
+        if engine is not None:
+            summed = engine.segmented_sum(vals, self.order, self.group, self.n_groups)
+            if summed is not None:  # else: below threshold / pool broke -> serial
+                return CSRMatrix(
+                    self.shape, self.indptr.copy(), self.indices.copy(), summed
+                )
         summed = np.zeros(self.n_groups, dtype=np.float64)
         np.add.at(summed, self.group, vals[self.order])
         return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), summed)
@@ -86,6 +94,11 @@ def plan_merge(
         return MergeRecipe(
             shape, zi, zi.copy(), 0, np.zeros(n_rows + 1, dtype=np.int64), zi.copy()
         )
+    engine = rexec.active()
+    if engine is not None:
+        recipe = engine.merge(rows, cols, shape)
+        if recipe is not None:  # else: below threshold / pool broke -> serial
+            return recipe
     order, keys = _sorted_keys(rows, cols, shape)
 
     boundaries = np.empty(len(keys), dtype=bool)

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro import exec as rexec
 from repro.plan.cache import PlanCache, PlanCacheStats
 from repro.sparse.csr import CSRMatrix
 
@@ -41,6 +42,10 @@ class IterativeSession:
             used for plan-path multiplies.
         cache: the session's :class:`~repro.plan.cache.PlanCache`; shareable
             between sessions to pool recipes across workloads.
+        exec_engine: the session's persistent :class:`~repro.exec.ExecEngine`
+            (``None`` when ``exec_workers`` <= 1).  One pool and one set of
+            published shared-memory operands serve every iteration — replay
+            across a loop pays worker spin-up and operand copy-in once.
     """
 
     def __init__(
@@ -49,10 +54,21 @@ class IterativeSession:
         *,
         cache: PlanCache | None = None,
         config: GPUConfig | None = None,
+        exec_workers: int | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.cache = cache if cache is not None else PlanCache()
         self.config = config
+        self.exec_engine = (
+            rexec.ExecEngine(int(exec_workers))
+            if exec_workers is not None and int(exec_workers) > 1
+            else None
+        )
+
+    def close(self) -> None:
+        """Release the session's execution engine (pool + shared memory)."""
+        if self.exec_engine is not None:
+            self.exec_engine.close()
 
     @classmethod
     def wrap(cls, engine: "SpGEMMAlgorithm | IterativeSession") -> "IterativeSession":
@@ -71,7 +87,8 @@ class IterativeSession:
 
     def multiply(self, a: CSRMatrix, b: CSRMatrix | None = None) -> CSRMatrix:
         """``a @ b`` (``b`` defaults to ``a``), replaying on structure hits."""
-        return self.cache.multiply(self.algorithm, a, b, config=self.config)
+        with rexec.engine_scope(self.exec_engine):
+            return self.cache.multiply(self.algorithm, a, b, config=self.config)
 
     def semiring_multiply(
         self,
@@ -80,4 +97,5 @@ class IterativeSession:
         semiring: "Semiring | None" = None,
     ) -> CSRMatrix:
         """Semiring product with the same structure-reuse discipline."""
-        return self.cache.semiring_multiply(a, b, semiring)
+        with rexec.engine_scope(self.exec_engine):
+            return self.cache.semiring_multiply(a, b, semiring)

@@ -1,0 +1,226 @@
+"""Unit tests for the multicore execution plane's building blocks.
+
+Covers the deterministic partitioners, the shared-memory registry, the
+ambient install/scope plumbing, and the engine's serial-threshold and
+broken-pool degradation.  End-to-end bit-identity across all seven schemes
+lives in ``test_exec_equivalence``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import exec as rexec
+from repro.exec.partition import contiguous_blocks, group_aligned_blocks, lpt_order
+from repro.exec.shm import SharedArrayRegistry, attach
+from repro.metrics.execprof import format_exec_stats
+
+
+def _assert_covers(blocks, n):
+    assert blocks[0][0] == 0
+    assert blocks[-1][1] == n
+    for (_, hi), (lo, _) in zip(blocks[:-1], blocks[1:]):
+        assert hi == lo
+    for lo, hi in blocks:
+        assert lo < hi
+
+
+class TestContiguousBlocks:
+    def test_covers_range_contiguously(self, rng):
+        weights = rng.integers(0, 50, size=137)
+        blocks = contiguous_blocks(weights, 8)
+        _assert_covers(blocks, 137)
+
+    def test_deterministic(self, rng):
+        weights = rng.integers(0, 50, size=200)
+        assert contiguous_blocks(weights, 6) == contiguous_blocks(weights, 6)
+
+    def test_zero_weights_fall_back_to_even_counts(self):
+        blocks = contiguous_blocks(np.zeros(12, dtype=np.int64), 4)
+        _assert_covers(blocks, 12)
+        assert len(blocks) == 4
+        assert all(hi - lo == 3 for lo, hi in blocks)
+
+    def test_hub_item_gets_isolated(self):
+        # One item holds ~all the weight: it must not drag half the range
+        # with it into a single mega-block.
+        weights = np.ones(100, dtype=np.int64)
+        weights[50] = 10_000
+        blocks = contiguous_blocks(weights, 4)
+        _assert_covers(blocks, 100)
+        hub_block = next((lo, hi) for lo, hi in blocks if lo <= 50 < hi)
+        assert hub_block[1] - hub_block[0] <= 52
+
+    def test_more_blocks_than_items_clamps(self):
+        blocks = contiguous_blocks(np.ones(3), 16)
+        _assert_covers(blocks, 3)
+        assert len(blocks) <= 3
+
+    def test_empty(self):
+        assert contiguous_blocks(np.zeros(0), 4) == []
+
+
+class TestGroupAlignedBlocks:
+    def test_never_splits_a_group(self, rng):
+        group = np.sort(rng.integers(0, 40, size=300))
+        blocks = group_aligned_blocks(group, 8)
+        _assert_covers(blocks, 300)
+        for lo, hi in blocks:
+            if lo > 0:
+                assert group[lo] != group[lo - 1]
+
+    def test_single_group_collapses_to_one_block(self):
+        blocks = group_aligned_blocks(np.zeros(50, dtype=np.int64), 4)
+        assert blocks == [(0, 50)]
+
+    def test_empty(self):
+        assert group_aligned_blocks(np.zeros(0, dtype=np.int64), 4) == []
+
+
+class TestLptOrder:
+    def test_heaviest_first_stable_ties(self):
+        assert lpt_order([3.0, 9.0, 3.0, 1.0]) == [1, 0, 2, 3]
+
+    def test_empty(self):
+        assert lpt_order([]) == []
+
+
+class TestSharedArrayRegistry:
+    def test_publish_roundtrip_and_identity_reuse(self, rng):
+        registry = SharedArrayRegistry()
+        try:
+            array = rng.standard_normal(100)
+            ref = registry.publish(array)
+            assert registry.publish_misses == 1
+            np.testing.assert_array_equal(attach(ref), array)
+            assert registry.publish(array) == ref
+            assert registry.publish_hits == 1
+            # An equal-valued but distinct object is a fresh copy.
+            registry.publish(array.copy())
+            assert registry.publish_misses == 2
+        finally:
+            registry.close()
+
+    def test_scratch_roundtrip_and_release(self):
+        registry = SharedArrayRegistry()
+        try:
+            ref, view = registry.scratch((8,), np.int64)
+            view[...] = np.arange(8)
+            np.testing.assert_array_equal(attach(ref), np.arange(8))
+            registry.release_scratch()
+            assert registry._scratch == []
+        finally:
+            registry.close()
+
+    def test_publish_budget_evicts_lru(self):
+        registry = SharedArrayRegistry(publish_budget=3 * 800)
+        try:
+            arrays = [np.zeros(100) for _ in range(5)]
+            for array in arrays:
+                registry.publish(array)
+            assert len(registry._published) <= 3
+            # The most recent array is still cached (identity hit).
+            hits = registry.publish_hits
+            registry.publish(arrays[-1])
+            assert registry.publish_hits == hits + 1
+        finally:
+            registry.close()
+
+
+class TestAmbientScope:
+    def test_noop_scopes_install_nothing(self):
+        for workers in (None, 0, 1):
+            with rexec.engine_scope(workers) as engine:
+                assert engine is None
+                assert rexec.active() is None
+
+    def test_int_scope_creates_and_closes(self):
+        with rexec.engine_scope(2, min_items=0) as engine:
+            assert rexec.active() is engine
+            assert engine.workers == 2
+            assert engine.min_items == 0
+        assert rexec.active() is None
+
+    def test_engine_scope_leaves_provided_engine_open(self):
+        engine = rexec.ExecEngine(2, min_items=0)
+        try:
+            with rexec.engine_scope(engine) as installed:
+                assert installed is engine
+            assert rexec.active() is None
+            # Still usable after the scope: the caller owns its lifetime.
+            assert engine.workers == 2
+        finally:
+            engine.close()
+
+    def test_scopes_nest_and_restore(self):
+        outer = rexec.ExecEngine(2, min_items=0)
+        inner = rexec.ExecEngine(3, min_items=0)
+        try:
+            with rexec.engine_scope(outer):
+                with rexec.engine_scope(inner):
+                    assert rexec.active() is inner
+                assert rexec.active() is outer
+            assert rexec.active() is None
+        finally:
+            outer.close()
+            inner.close()
+
+    def test_install_uninstall(self):
+        engine = rexec.ExecEngine(2, min_items=0)
+        try:
+            rexec.install(engine)
+            assert rexec.active() is engine
+            assert rexec.uninstall() is engine
+            assert rexec.active() is None
+        finally:
+            engine.close()
+
+
+class TestEngineDegradation:
+    def test_below_threshold_returns_none_and_counts(self, square_csr):
+        engine = rexec.ExecEngine(2, min_items=1 << 30)
+        try:
+            out = engine.expand_row_indices(square_csr, square_csr)
+            assert out is None
+            assert engine.stats.serial_calls == 1
+            assert engine.stats.parallel_calls == 0
+        finally:
+            engine.close()
+
+    def test_broken_engine_returns_none(self, square_csr):
+        engine = rexec.ExecEngine(2, min_items=0)
+        try:
+            engine._broken = True
+            assert engine.expand_row_indices(square_csr, square_csr) is None
+            assert (
+                engine.segmented_sum(
+                    np.ones(4), np.arange(4), np.zeros(4, dtype=np.int64), 1
+                )
+                is None
+            )
+        finally:
+            engine.close()
+
+    def test_workers_one_never_parallelises(self, square_csr):
+        engine = rexec.ExecEngine(1, min_items=0)
+        try:
+            assert engine.expand_row_indices(square_csr, square_csr) is None
+            assert engine.stats.parallel_calls == 0
+        finally:
+            engine.close()
+
+
+def test_stats_as_dict_and_formatting():
+    stats = rexec.ExecStats(parallel_calls=3, partitions=12, items=1000, publish_hits=2)
+    snapshot = stats.as_dict()
+    assert snapshot["parallel_calls"] == 3
+    assert snapshot["partitions"] == 12
+    line = format_exec_stats(stats)
+    assert "3 parallel calls" in line
+    assert "12 partitions" in line
+    assert "2 reused" in line
+
+
+def test_default_exec_workers_positive():
+    assert rexec.default_exec_workers() >= 1

@@ -1,0 +1,184 @@
+"""Property-style equivalence: the execution plane must be invisible.
+
+Random synthetic matrices x all seven paper schemes x several pool widths:
+every numeric product computed through :mod:`repro.exec` must be
+**bit-identical** (indptr, indices, data — exact, not approximate) to the
+serial result, including plan-cache recipe replays, and structurally valid
+(duplicate-free, sorted).  Engines are module-scoped with ``min_items=0`` so
+every kernel truly goes through the pool even on test-size matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import exec as rexec
+from repro.bench.runner import paper_algorithms
+from repro.plan.cache import PlanCache
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.random import power_law
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.expansion import expand_outer_indices, expand_row_indices
+from repro.spgemm.merge import plan_merge
+from repro.spgemm.rowproduct import RowProductSpGEMM
+from repro.spgemm.semiring import MIN_PLUS
+from repro.spgemm.session import IterativeSession
+
+from .conftest import random_csr
+
+WORKER_WIDTHS = [2, 4]
+
+
+@pytest.fixture(scope="module", params=WORKER_WIDTHS)
+def engine(request):
+    """A live pool of the parametrised width, threshold forced to zero."""
+    engine = rexec.ExecEngine(request.param, min_items=0)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def matrices():
+    rng = np.random.default_rng(2024)
+    return {
+        "uniform": random_csr(rng, 70, 70, 0.10),
+        "rect": (random_csr(rng, 40, 90, 0.15), random_csr(rng, 90, 25, 0.15)),
+        "skewed": power_law(200, 2400, seed=11).to_csr(),
+    }
+
+
+def _assert_bit_identical(serial: CSRMatrix, parallel: CSRMatrix) -> None:
+    assert serial.shape == parallel.shape
+    np.testing.assert_array_equal(serial.indptr, parallel.indptr)
+    np.testing.assert_array_equal(serial.indices, parallel.indices)
+    assert serial.data.dtype == parallel.data.dtype
+    np.testing.assert_array_equal(serial.data, parallel.data)
+
+
+class TestSchemeEquivalence:
+    @pytest.mark.parametrize("algo_index", range(7))
+    def test_square_product_all_schemes(self, engine, matrices, algo_index):
+        algo = paper_algorithms()[algo_index]
+        for a in (matrices["uniform"], matrices["skewed"]):
+            ctx = MultiplyContext.build(a)
+            serial = algo.multiply(ctx)
+            with rexec.engine_scope(engine):
+                parallel = algo.multiply(ctx)
+            _assert_bit_identical(serial, parallel)
+            parallel.validate()
+
+    def test_rectangular_product(self, engine, matrices):
+        a, b = matrices["rect"]
+        ctx = MultiplyContext.build(a, b)
+        algo = RowProductSpGEMM()
+        serial = algo.multiply(ctx)
+        with rexec.engine_scope(engine):
+            parallel = algo.multiply(ctx)
+        _assert_bit_identical(serial, parallel)
+        parallel.validate()
+
+
+class TestPrimitiveEquivalence:
+    def test_expand_outer(self, engine, matrices):
+        a = matrices["skewed"]
+        ctx = MultiplyContext.build(a)
+        serial = expand_outer_indices(ctx.a_csc, ctx.b_csr)
+        with rexec.engine_scope(engine):
+            parallel = expand_outer_indices(ctx.a_csc, ctx.b_csr)
+        for s, p in zip(serial, parallel):
+            assert s.dtype == p.dtype
+            np.testing.assert_array_equal(s, p)
+        assert engine.stats.parallel_calls > 0
+
+    def test_expand_row(self, engine, matrices):
+        a = matrices["uniform"]
+        serial = expand_row_indices(a, a)
+        with rexec.engine_scope(engine):
+            parallel = expand_row_indices(a, a)
+        for s, p in zip(serial, parallel):
+            assert s.dtype == p.dtype
+            np.testing.assert_array_equal(s, p)
+
+    def test_plan_merge_recipe_and_apply(self, engine, matrices):
+        a = matrices["skewed"]
+        rows, cols, _, _ = expand_row_indices(a, a)
+        serial = plan_merge(rows, cols, (a.n_rows, a.n_cols))
+        with rexec.engine_scope(engine):
+            parallel = plan_merge(rows, cols, (a.n_rows, a.n_cols))
+        assert serial.n_groups == parallel.n_groups
+        np.testing.assert_array_equal(serial.order, parallel.order)
+        np.testing.assert_array_equal(serial.group, parallel.group)
+        np.testing.assert_array_equal(serial.indptr, parallel.indptr)
+        np.testing.assert_array_equal(serial.indices, parallel.indices)
+        vals = np.random.default_rng(5).standard_normal(len(rows))
+        applied_serial = serial.apply(vals)
+        with rexec.engine_scope(engine):
+            applied_parallel = serial.apply(vals)
+        _assert_bit_identical(applied_serial, applied_parallel)
+
+
+class TestReplayEquivalence:
+    def test_plan_cache_replay_matches_serial(self, engine, matrices):
+        """A structure-hit replay through the pool is the serial replay."""
+        rng = np.random.default_rng(99)
+        a = matrices["uniform"]
+        algo = RowProductSpGEMM()
+        serial_cache, parallel_cache = PlanCache(), PlanCache()
+        serial_cache.multiply(algo, a)  # cold fills capture the recipes
+        with rexec.engine_scope(engine):
+            parallel_cache.multiply(algo, a)
+        for _ in range(3):
+            fresh = CSRMatrix(
+                a.shape, a.indptr.copy(), a.indices.copy(),
+                rng.standard_normal(a.nnz),
+            )
+            serial = serial_cache.multiply(algo, fresh)
+            with rexec.engine_scope(engine):
+                parallel = parallel_cache.multiply(algo, fresh)
+            _assert_bit_identical(serial, parallel)
+        assert parallel_cache.stats.numeric_replays >= 3
+
+    def test_session_with_persistent_engine(self, matrices):
+        """IterativeSession(exec_workers=N) equals a serial session, bitwise."""
+        rng = np.random.default_rng(7)
+        a = matrices["uniform"]
+        serial_session = IterativeSession(RowProductSpGEMM())
+        parallel_session = IterativeSession(RowProductSpGEMM(), exec_workers=2)
+        assert parallel_session.exec_engine is not None
+        parallel_session.exec_engine.min_items = 0
+        try:
+            for _ in range(3):
+                fresh = CSRMatrix(
+                    a.shape, a.indptr.copy(), a.indices.copy(),
+                    rng.standard_normal(a.nnz),
+                )
+                _assert_bit_identical(
+                    serial_session.multiply(fresh), parallel_session.multiply(fresh)
+                )
+        finally:
+            parallel_session.close()
+
+    def test_session_semiring_unaffected(self, matrices):
+        """An installed engine must not disturb semiring products."""
+        a = matrices["uniform"]
+        serial_session = IterativeSession(RowProductSpGEMM())
+        parallel_session = IterativeSession(RowProductSpGEMM(), exec_workers=2)
+        assert parallel_session.exec_engine is not None
+        parallel_session.exec_engine.min_items = 0
+        try:
+            _assert_bit_identical(
+                serial_session.semiring_multiply(a, semiring=MIN_PLUS),
+                parallel_session.semiring_multiply(a, semiring=MIN_PLUS),
+            )
+        finally:
+            parallel_session.close()
+
+
+def test_exec_workers_one_is_plain_serial(matrices):
+    """exec_workers=1 must not even construct an engine."""
+    session = IterativeSession(RowProductSpGEMM(), exec_workers=1)
+    try:
+        assert session.exec_engine is None
+    finally:
+        session.close()

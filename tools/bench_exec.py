@@ -1,0 +1,179 @@
+"""Serial-vs-parallel wall-clock for the repro.exec numeric execution plane.
+
+For each dataset (default: the catalog's largest intermediate-product
+streams) and each pool width, measures the numeric hot path both ways:
+
+* **cold multiply** — ``algo.multiply(ctx)`` (lowering + partitioned
+  expansion/merge kernels), best of ``--repeats``;
+* **warm replay** — an :class:`~repro.spgemm.session.IterativeSession` with a
+  persistent engine: after the cold fill, ``--iterations`` structure-hit
+  replays (the gather-multiply-sum primitive), mean per iteration.
+
+Every parallel result is compared **bitwise** against the serial one before
+any timing is reported — a mismatch aborts with exit code 1, so the artifact
+can never contain timings for wrong results.
+
+Writes the measurements (plus host CPU availability — process-pool speedups
+are only meaningful when the host actually has spare cores) as JSON:
+``BENCH_pr5.json`` at the repo root records the PR's numbers.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_exec.py --out BENCH_pr5.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import exec as rexec
+from repro.bench.runner import get_context
+from repro.spgemm.rowproduct import RowProductSpGEMM
+from repro.spgemm.session import IterativeSession
+
+DATASETS = ["youtube", "protein", "ship"]
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _identical(x, y) -> bool:
+    return (
+        x.shape == y.shape
+        and np.array_equal(x.indptr, y.indptr)
+        and np.array_equal(x.indices, y.indices)
+        and np.array_equal(x.data, y.data)
+    )
+
+
+def _time_multiply(algo, ctx, engine, repeats: int):
+    """Best-of-N wall-clock of one cold numeric execution; returns (s, C)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        with rexec.engine_scope(engine):
+            result = algo.multiply(ctx)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _time_replay(algo, ctx, workers: int, iterations: int):
+    """Mean warm-replay wall-clock through a persistent-engine session."""
+    session = IterativeSession(algo, exec_workers=workers)
+    try:
+        session.multiply(ctx.a_csr, ctx.b_csr)  # cold fill (not timed)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            result = session.multiply(ctx.a_csr, ctx.b_csr)
+        mean = (time.perf_counter() - start) / iterations
+        stats = (
+            session.exec_engine.stats.as_dict()
+            if session.exec_engine is not None
+            else None
+        )
+        return mean, result, stats
+    finally:
+        session.close()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--datasets", nargs="*", default=DATASETS)
+    parser.add_argument("--workers", type=int, nargs="*", default=[2, 4],
+                        help="pool widths to compare against serial")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="cold multiplies per mode (best is reported)")
+    parser.add_argument("--iterations", type=int, default=10,
+                        help="warm replays per mode (mean is reported)")
+    parser.add_argument("--out", default="BENCH_pr5.json")
+    args = parser.parse_args()
+
+    algo = RowProductSpGEMM()
+    records, failures = [], []
+    for dataset in args.datasets:
+        ctx = get_context(dataset)  # symbolic pass forced here, outside timings
+        serial_s, serial_c = _time_multiply(algo, ctx, None, args.repeats)
+        serial_replay_s, serial_replay_c, _ = _time_replay(
+            algo, ctx, 1, args.iterations
+        )
+        if not _identical(serial_c, serial_replay_c):
+            failures.append(f"{dataset}: serial replay differs from cold multiply")
+        record = {
+            "dataset": dataset,
+            "products": int(ctx.total_work),
+            "nnz_c": int(ctx.nnz_c),
+            "serial": {
+                "multiply_seconds": serial_s,
+                "replay_seconds": serial_replay_s,
+            },
+            "parallel": {},
+        }
+        for workers in args.workers:
+            engine = rexec.ExecEngine(workers)
+            try:
+                par_s, par_c = _time_multiply(algo, ctx, engine, args.repeats)
+                exec_stats = engine.stats.as_dict()
+            finally:
+                engine.close()
+            par_replay_s, par_replay_c, replay_stats = _time_replay(
+                algo, ctx, workers, args.iterations
+            )
+            if not _identical(serial_c, par_c):
+                failures.append(f"{dataset}: workers={workers} multiply differs")
+            if not _identical(serial_c, par_replay_c):
+                failures.append(f"{dataset}: workers={workers} replay differs")
+            record["parallel"][str(workers)] = {
+                "multiply_seconds": par_s,
+                "multiply_speedup": serial_s / par_s,
+                "replay_seconds": par_replay_s,
+                "replay_speedup": serial_replay_s / par_replay_s,
+                "exec_stats": exec_stats,
+                "replay_exec_stats": replay_stats,
+            }
+            print(
+                f"{dataset:14s} workers={workers}  "
+                f"multiply {serial_s * 1e3:7.1f} -> {par_s * 1e3:7.1f} ms "
+                f"(x{serial_s / par_s:4.2f})  "
+                f"replay {serial_replay_s * 1e3:7.1f} -> {par_replay_s * 1e3:7.1f} ms "
+                f"(x{serial_replay_s / par_replay_s:4.2f})"
+            )
+        records.append(record)
+
+    payload = {
+        "description": "repro.exec multicore numeric plane, serial vs "
+                       "partitioned (bit-identical results asserted per mode)",
+        "engine": algo.name,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "host_cpu_count": os.cpu_count(),
+        "host_available_cpus": _available_cpus(),
+        "note": "process-pool speedup requires spare physical cores; on a "
+                "single-core host the partitioned path measures pure overhead",
+        "results": records,
+        "bit_identical": not failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    if failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+    print(f"wrote {len(records)} records to {args.out} "
+          f"(host: {_available_cpus()} available cpus)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

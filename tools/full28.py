@@ -3,22 +3,25 @@
 Usage::
 
     PYTHONPATH=src python tools/full28.py [k=v ...] [cfg.k=v ...] \
-        [--workers N] [--cache-dir PATH] [--no-cache]
+        [--workers N] [--cache-dir PATH] [--no-cache] [--out FILE]
 
 Positional ``k=v`` pairs override :class:`CostModel` fields; ``cfg.k=v``
 pairs override :class:`GPUConfig` fields (both participate in the result
 cache's fingerprint, so every override combination is cached independently).
+``--out FILE`` additionally writes the full result grid as JSON (used by the
+scheduled ``bench-full`` CI workflow to upload the grid as an artifact).
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import time
 
 import numpy as np
 
-from repro.bench.cache import ResultCache
+from repro.bench.cache import ResultCache, result_to_dict
 from repro.bench.parallel import default_workers
 from repro.bench.runner import run_matrix
 from repro.core import BlockReorganizer, ReorganizerOptions
@@ -53,6 +56,8 @@ def main() -> int:
                         help="worker processes (0 = all cores)")
     parser.add_argument("--cache-dir", default=None)
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="also write the full result grid as JSON")
     args = parser.parse_args()
 
     overrides, cfg_overrides = {}, {}
@@ -100,6 +105,18 @@ def main() -> int:
     )
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
+    if args.out:
+        grid = {
+            f"{name}/{algo}": result_to_dict(res)
+            for (name, algo), res in results.items()
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(
+                {"overrides": args.overrides, "cells": len(grid), "results": grid},
+                fh, indent=2, sort_keys=True,
+            )
+            fh.write("\n")
+        print(f"wrote {len(grid)}-cell grid to {args.out}")
     return 0
 
 
