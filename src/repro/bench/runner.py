@@ -27,7 +27,7 @@ from repro.bench.fingerprint import cell_key, context_key
 from repro.core.reorganizer import BlockReorganizer, ReorganizerOptions
 from repro.datasets.catalog import get_spec
 from repro.datasets.loader import load
-from repro.errors import FingerprintError
+from repro.errors import ConfigurationError, FingerprintError
 from repro.gpusim.config import GPUConfig, TITAN_XP
 from repro.gpusim.costs import CostModel, DEFAULT_COSTS
 from repro.gpusim.simulator import GPUSimulator
@@ -135,6 +135,7 @@ class _RunnerDefaults:
     cache: ResultCache | None = None
     shard_timeout: float | None = 300.0
     exec_workers: int = 1
+    exec_partitioner: str = rexec.DEFAULT_PARTITIONER
 
 
 _DEFAULTS = _RunnerDefaults()
@@ -143,7 +144,7 @@ _UNSET = object()
 
 def configure(
     *, workers: int | None = None, cache=_UNSET, shard_timeout=_UNSET,
-    exec_workers: int | None = None,
+    exec_workers: int | None = None, exec_partitioner: str | None = None,
 ) -> None:
     """Set defaults used when :func:`run_matrix` arguments are omitted.
 
@@ -151,9 +152,11 @@ def configure(
     :class:`ResultCache` or None (caching off); ``shard_timeout`` is the
     parallel engine's no-progress window in seconds (None disables it);
     ``exec_workers`` is the :mod:`repro.exec` pool width used for in-process
-    numeric kernels (1 = serial, bit-identical either way).  Entry points
-    call this once (e.g. from CLI flags) so every experiment module inherits
-    the behaviour.
+    numeric kernels (1 = serial, bit-identical either way) and
+    ``exec_partitioner`` its cut discipline
+    (:data:`repro.exec.PARTITIONER_NAMES`; results are identical, only
+    balance differs).  Entry points call this once (e.g. from CLI flags) so
+    every experiment module inherits the behaviour.
     """
     if workers is not None:
         _DEFAULTS.workers = max(1, int(workers))
@@ -163,6 +166,13 @@ def configure(
         _DEFAULTS.shard_timeout = None if shard_timeout is None else float(shard_timeout)
     if exec_workers is not None:
         _DEFAULTS.exec_workers = max(1, int(exec_workers))
+    if exec_partitioner is not None:
+        if exec_partitioner not in rexec.PARTITIONER_NAMES:
+            raise ConfigurationError(
+                f"unknown partitioner {exec_partitioner!r}; "
+                f"known: {list(rexec.PARTITIONER_NAMES)}"
+            )
+        _DEFAULTS.exec_partitioner = exec_partitioner
 
 
 @dataclass
@@ -324,7 +334,10 @@ def run_matrix(
                     timeout=eff_timeout, summary=summary,
                 )
             else:
-                with rexec.engine_scope(eff_exec if eff_exec > 1 else None):
+                with rexec.engine_scope(
+                    eff_exec if eff_exec > 1 else None,
+                    partitioner=_DEFAULTS.exec_partitioner,
+                ):
                     computed = _run_serial(pending, gpu, costs)
             summary.computed = len(computed)
             for cell, res in computed.items():

@@ -27,10 +27,13 @@ Commands:
 ``--workers N`` (0 = all cores), ``--cache-dir PATH``, ``--no-cache``,
 ``--shard-timeout SECONDS`` (parallel no-progress window before hung shards
 re-run serially), ``--exec-workers N`` (process-pool width for the numeric
-kernels via :mod:`repro.exec`; bit-identical to serial) and ``--trace FILE``
-(record the whole invocation and write a Chrome trace); ``run`` accepts
-``--exec-workers`` and ``--trace`` too.  Caching defaults to on, under
-``~/.cache/repro``.
+kernels via :mod:`repro.exec`; bit-identical to serial),
+``--exec-partitioner {merge-path,lpt}`` (the exec plane's cut discipline),
+``--kernel-backend {numpy,numba}`` (numeric-primitive backend, verified
+bit-identical at selection) and ``--trace FILE`` (record the whole
+invocation and write a Chrome trace); ``run`` accepts ``--exec-workers``,
+``--exec-partitioner``, ``--kernel-backend`` and ``--trace`` too.  Caching
+defaults to on, under ``~/.cache/repro``.
 """
 
 from __future__ import annotations
@@ -41,7 +44,7 @@ import json
 import sys
 
 from repro import exec as rexec
-from repro import obs
+from repro import kernels, obs
 from repro.bench import runner
 from repro.bench.cache import ResultCache, result_to_dict
 from repro.bench.parallel import default_workers
@@ -111,6 +114,19 @@ def _add_exec_workers_flag(parser: argparse.ArgumentParser) -> None:
         help="process-pool width for the numeric kernels (repro.exec); "
              "results are bit-identical to serial (0 = all cores; default 1)",
     )
+    parser.add_argument(
+        "--exec-partitioner", choices=list(rexec.PARTITIONER_NAMES),
+        default=rexec.DEFAULT_PARTITIONER,
+        help="work-partitioning discipline for the exec plane: merge-path "
+             "bounds items+work per block, lpt cuts on weight only "
+             "(results identical; default merge-path)",
+    )
+    parser.add_argument(
+        "--kernel-backend", choices=list(kernels.BACKEND_NAMES), default=None,
+        help="kernel backend for the numeric primitives (default: "
+             "$REPRO_KERNEL_BACKEND or numpy); non-numpy backends are "
+             "verified bit-identical at selection time",
+    )
 
 
 def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
@@ -127,18 +143,27 @@ def _exec_workers_of(args: argparse.Namespace) -> int:
     return rexec.default_exec_workers() if n == 0 else max(1, n)
 
 
+def _exec_partitioner_of(args: argparse.Namespace) -> str:
+    """Resolve the ``--exec-partitioner`` flag."""
+    return getattr(args, "exec_partitioner", rexec.DEFAULT_PARTITIONER)
+
+
 def _configure_runner(args: argparse.Namespace) -> ResultCache | None:
     """Apply the execution flags as process-wide runner defaults."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     workers = default_workers() if args.workers == 0 else args.workers
     exec_workers = _exec_workers_of(args)
+    exec_partitioner = _exec_partitioner_of(args)
     if args.shard_timeout is not None:
         runner.configure(
             workers=workers, cache=cache, shard_timeout=args.shard_timeout,
-            exec_workers=exec_workers,
+            exec_workers=exec_workers, exec_partitioner=exec_partitioner,
         )
     else:
-        runner.configure(workers=workers, cache=cache, exec_workers=exec_workers)
+        runner.configure(
+            workers=workers, cache=cache, exec_workers=exec_workers,
+            exec_partitioner=exec_partitioner,
+        )
     return cache
 
 
@@ -155,7 +180,10 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     exec_workers = _exec_workers_of(args)
-    with rexec.engine_scope(exec_workers if exec_workers > 1 else None) as engine:
+    with rexec.engine_scope(
+        exec_workers if exec_workers > 1 else None,
+        partitioner=_exec_partitioner_of(args),
+    ) as engine:
         ctx = get_context(args.dataset)
         algo = _algo_by_name(args.algorithm)
         sim = GPUSimulator(_gpu_by_name(args.gpu))
@@ -402,12 +430,17 @@ def main(argv: list[str] | None = None) -> int:
     saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
     saved_timeout = runner._DEFAULTS.shard_timeout
     saved_exec = runner._DEFAULTS.exec_workers
+    saved_part = runner._DEFAULTS.exec_partitioner
     # --trace wraps the whole invocation in a recorder (the `trace` command
     # owns its own recorder instead, so it can print the tree itself).
     trace_path = getattr(args, "trace", None)
     recorder = obs.install() if trace_path else None
     try:
-        code = args.func(args)
+        # --kernel-backend scopes the numeric-primitive backend around the
+        # whole command; selection verifies bit-identity, so an unavailable
+        # or diverging backend fails here, before any work runs.
+        with kernels.use(getattr(args, "kernel_backend", None)):
+            code = args.func(args)
         if recorder is not None and code == 0:
             obs.write_trace(trace_path, recorder, meta=_trace_meta(args))
             print(f"wrote Chrome trace to {trace_path} (open in Perfetto)")
@@ -420,7 +453,7 @@ def main(argv: list[str] | None = None) -> int:
             obs.uninstall()
         runner.configure(
             workers=saved_workers, cache=saved_cache, shard_timeout=saved_timeout,
-            exec_workers=saved_exec,
+            exec_workers=saved_exec, exec_partitioner=saved_part,
         )
 
 

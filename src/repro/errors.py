@@ -44,3 +44,9 @@ class FingerprintError(ReproError):
 
 class CacheError(ReproError):
     """The persistent bench result cache hit an unrecoverable condition."""
+
+
+class KernelBackendError(ReproError):
+    """A kernel backend is unknown, unavailable (missing optional dependency),
+    or failed its selection-time bit-identity verification against the NumPy
+    reference implementation."""

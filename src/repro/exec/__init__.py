@@ -35,13 +35,17 @@ from contextlib import contextmanager
 
 from repro.exec.engine import (
     DEFAULT_MIN_ITEMS,
+    DEFAULT_PARTITIONER,
     ExecEngine,
     ExecStats,
     default_exec_workers,
 )
+from repro.exec.partition import PARTITIONER_NAMES
 
 __all__ = [
     "DEFAULT_MIN_ITEMS",
+    "DEFAULT_PARTITIONER",
+    "PARTITIONER_NAMES",
     "ExecEngine",
     "ExecStats",
     "active",
@@ -82,21 +86,25 @@ def engine_scope(
     workers: int | ExecEngine | None,
     *,
     min_items: int = DEFAULT_MIN_ITEMS,
+    partitioner: str = DEFAULT_PARTITIONER,
 ):
     """Install an execution engine for the duration of a ``with`` block.
 
     ``workers`` may be ``None``/``0``/``1`` (no-op scope: kernels stay
     serial), an integer pool width (a fresh engine is created and closed on
     exit), or an existing :class:`ExecEngine` (installed but left open, so a
-    session can reuse one pool across iterations).  Scopes nest; the previous
-    ambient engine is restored on exit.  Yields the installed engine or
-    ``None``.
+    session can reuse one pool across iterations; ``partitioner`` is then
+    ignored — the engine keeps its own).  Scopes nest; the previous ambient
+    engine is restored on exit.  Yields the installed engine or ``None``.
     """
     global _ACTIVE, _ACTIVE_PID
     if isinstance(workers, ExecEngine):
         engine, owned = workers, False
     elif workers is not None and int(workers) > 1:
-        engine, owned = ExecEngine(int(workers), min_items=min_items), True
+        engine, owned = (
+            ExecEngine(int(workers), min_items=min_items, partitioner=partitioner),
+            True,
+        )
     else:
         yield None
         return

@@ -40,17 +40,22 @@ import os
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pickle import PicklingError
 from typing import TYPE_CHECKING
 
 import multiprocessing
 import numpy as np
 
-from repro import obs
-from repro.errors import ShapeMismatchError
+from repro import kernels, obs
+from repro.errors import ConfigurationError, ShapeMismatchError
 from repro.exec import shm as shm_module
-from repro.exec.partition import contiguous_blocks, group_aligned_blocks, lpt_order
+from repro.exec.partition import (
+    PARTITIONER_NAMES,
+    lpt_order,
+    stream_blocks,
+    weight_blocks,
+)
 from repro.exec.shm import SharedArrayRegistry, ShmRef, attach
 
 if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an exec<->merge cycle
@@ -58,10 +63,19 @@ if TYPE_CHECKING:  # pragma: no cover - type-only; avoids an exec<->merge cycle
     from repro.sparse.csr import CSRMatrix
     from repro.spgemm.merge import MergeRecipe
 
-__all__ = ["ExecStats", "ExecEngine", "default_exec_workers"]
+__all__ = [
+    "DEFAULT_PARTITIONER",
+    "ExecEngine",
+    "ExecStats",
+    "default_exec_workers",
+]
 
 #: Streams below this many items run serially: pool latency would dominate.
 DEFAULT_MIN_ITEMS = 1 << 16
+
+#: Default cut discipline (see :mod:`repro.exec.partition`): merge-path
+#: bounds both items and work per block, replacing weight-only LPT cuts.
+DEFAULT_PARTITIONER = "merge-path"
 
 #: Chrome-trace process lane of the first exec partition (bench shards use
 #: small positive lanes; exec partitions park far above them).
@@ -85,18 +99,37 @@ class ExecStats:
 
     ``parallel_calls`` primitives ran partitioned; ``serial_calls`` fell
     below the size threshold; ``fallbacks`` hit a pool/shared-memory failure
-    and were re-run serially by the caller.  ``partitions``/``items`` total
-    the partitioned work; ``publish_hits``/``publish_misses`` count
-    shared-memory reuse of stable arrays (operands, recipe gathers).
+    and were re-run serially by the caller; ``estimate_overflows`` count
+    estimation-sized merges whose estimate undershot (re-run exactly by the
+    caller).  ``partitions``/``items`` total the partitioned work;
+    ``publish_hits``/``publish_misses`` count shared-memory reuse of stable
+    arrays (operands, recipe gathers).  ``per_op`` breaks the partitioned
+    calls down by primitive, recording the cut discipline and kernel backend
+    each op actually used so traces and bench artifacts are self-describing.
     """
 
     parallel_calls: int = 0
     serial_calls: int = 0
     fallbacks: int = 0
+    estimate_overflows: int = 0
     partitions: int = 0
     items: int = 0
     publish_hits: int = 0
     publish_misses: int = 0
+    per_op: dict = field(default_factory=dict)
+
+    def note_op(
+        self, op: str, *, partitions: int, items: int, partitioner: str, backend: str
+    ) -> None:
+        """Record one partitioned call of ``op`` in the per-op breakdown."""
+        entry = self.per_op.setdefault(
+            op, {"calls": 0, "partitions": 0, "items": 0}
+        )
+        entry["calls"] += 1
+        entry["partitions"] += partitions
+        entry["items"] += items
+        entry["partitioner"] = partitioner
+        entry["backend"] = backend
 
     def as_dict(self) -> dict:
         """JSON-able snapshot, used by bench artifacts and ``repro run``."""
@@ -104,10 +137,12 @@ class ExecStats:
             "parallel_calls": self.parallel_calls,
             "serial_calls": self.serial_calls,
             "fallbacks": self.fallbacks,
+            "estimate_overflows": self.estimate_overflows,
             "partitions": self.partitions,
             "items": self.items,
             "publish_hits": self.publish_hits,
             "publish_misses": self.publish_misses,
+            "per_op": {op: dict(entry) for op, entry in self.per_op.items()},
         }
 
 
@@ -129,6 +164,9 @@ class ExecEngine:
         workers: pool width (1 disables parallelism entirely).
         min_items: streams shorter than this run serially (pool latency
             would dominate); tests set 0 to force the partitioned path.
+        partitioner: default cut discipline for every op
+            (:data:`~repro.exec.partition.PARTITIONER_NAMES`); individual
+            ops can deviate via ``partitioner_overrides`` (op name → name).
         stats: the engine's :class:`ExecStats` counters.
     """
 
@@ -138,9 +176,18 @@ class ExecEngine:
         *,
         min_items: int = DEFAULT_MIN_ITEMS,
         publish_budget: int | None = None,
+        partitioner: str = DEFAULT_PARTITIONER,
+        partitioner_overrides: dict[str, str] | None = None,
     ) -> None:
         self.workers = max(1, int(workers))
         self.min_items = max(0, int(min_items))
+        for name in (partitioner, *(partitioner_overrides or {}).values()):
+            if name not in PARTITIONER_NAMES:
+                raise ConfigurationError(
+                    f"unknown partitioner {name!r}; known: {list(PARTITIONER_NAMES)}"
+                )
+        self.partitioner = partitioner
+        self.partitioner_overrides = dict(partitioner_overrides or {})
         self.stats = ExecStats()
         registry = (
             SharedArrayRegistry(publish_budget)
@@ -184,6 +231,10 @@ class ExecEngine:
         # Two blocks per worker: enough slack for LPT submission to absorb
         # one overloaded partition without oversubscribing the pool.
         return self.workers * 2
+
+    def _partitioner_for(self, op: str) -> str:
+        """Cut discipline for ``op``: per-op override or the engine default."""
+        return self.partitioner_overrides.get(op, self.partitioner)
 
     def _run_tasks(self, op: str, tasks: list[dict]) -> list:
         """Run one primitive's partition tasks; results in partition order.
@@ -230,7 +281,8 @@ class ExecEngine:
         total = int(offsets[-1])
         if not self._should(total):
             return None
-        blocks = contiguous_blocks(counts, self._n_blocks())
+        part = self._partitioner_for("expand_outer")
+        blocks = weight_blocks(counts, self._n_blocks(), partitioner=part)
         with obs.span("exec.expand_outer", "exec", items=total, partitions=len(blocks)):
             try:
                 inputs = {
@@ -253,6 +305,10 @@ class ExecEngine:
                 ]
                 self._run_tasks("expand_outer", tasks)
                 self.stats.items += total
+                self.stats.note_op(
+                    "expand_outer", partitions=len(blocks), items=total,
+                    partitioner=part, backend="numpy",
+                )
                 return tuple(view.copy() for view in out_views)
             except _Fallback:
                 return None
@@ -272,7 +328,8 @@ class ExecEngine:
         total = int(offsets[-1])
         if not self._should(total):
             return None
-        blocks = contiguous_blocks(per_entry, self._n_blocks())
+        part = self._partitioner_for("expand_row")
+        blocks = weight_blocks(per_entry, self._n_blocks(), partitioner=part)
         with obs.span("exec.expand_row", "exec", items=total, partitions=len(blocks)):
             try:
                 inputs = {
@@ -295,6 +352,10 @@ class ExecEngine:
                 ]
                 self._run_tasks("expand_row", tasks)
                 self.stats.items += total
+                self.stats.note_op(
+                    "expand_row", partitions=len(blocks), items=total,
+                    partitioner=part, backend="numpy",
+                )
                 return tuple(view.copy() for view in out_views)
             except _Fallback:
                 return None
@@ -312,7 +373,12 @@ class ExecEngine:
 
     # -- merge primitives ----------------------------------------------
     def merge(
-        self, rows: np.ndarray, cols: np.ndarray, shape: tuple[int, int]
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        shape: tuple[int, int],
+        *,
+        est_row_nnz: np.ndarray | None = None,
     ) -> "MergeRecipe | None":
         """Partitioned coalescing sort: the symbolic half of the merge.
 
@@ -323,6 +389,15 @@ class ExecEngine:
         disjoint and ascending, concatenating the buckets *is* the global
         stable sort — the recipe is field-for-field identical to
         :func:`repro.spgemm.merge.plan_merge`.
+
+        ``est_row_nnz`` (Ocean-style estimation sizing) is a per-row upper
+        bound on output nnz: when given, each bucket's unique-column segment
+        is allocated from the estimate instead of its triplet count, shrinking
+        the scratch footprint from the product-stream size to (roughly) the
+        output size.  A bucket whose uniques overflow its estimated segment
+        aborts the call — the engine counts an ``estimate_overflow`` and
+        returns ``None`` so the caller re-runs the exact serial pass; results
+        are identical either way.
         """
         from repro.spgemm.merge import MergeRecipe
 
@@ -333,16 +408,27 @@ class ExecEngine:
         if int(rows.max()) >= n_rows or int(cols.max()) >= n_cols:
             raise ShapeMismatchError("triplet coordinate out of range")
         trip_per_row = np.bincount(rows, minlength=n_rows)
-        blocks = contiguous_blocks(trip_per_row, self._n_blocks())
+        part = self._partitioner_for("merge")
+        blocks = weight_blocks(trip_per_row, self._n_blocks(), partitioner=part)
         bucket_counts = [int(trip_per_row[lo:hi].sum()) for lo, hi in blocks]
         seg_offs = np.concatenate(([0], np.cumsum(bucket_counts)))
+        if est_row_nnz is not None:
+            # A row never produces more uniques than triplets, so tighten the
+            # caller's bound before sizing the segments.
+            cap = np.minimum(np.asarray(est_row_nnz, dtype=np.int64), trip_per_row)
+            est_counts = [int(cap[lo:hi].sum()) for lo, hi in blocks]
+        else:
+            est_counts = bucket_counts
+        est_offs = np.concatenate(([0], np.cumsum(est_counts)))
         with obs.span("exec.merge", "exec", items=n, partitions=len(blocks)):
             try:
                 rows_ref = self.registry.share_scratch(rows)
                 cols_ref = self.registry.share_scratch(cols)
                 order_ref, order_view = self.registry.scratch((n,), np.int64)
                 group_ref, group_view = self.registry.scratch((n,), np.int64)
-                ucols_ref, ucols_view = self.registry.scratch((n,), np.int64)
+                ucols_ref, ucols_view = self.registry.scratch(
+                    (max(1, int(est_offs[-1])),), np.int64
+                )
                 rnnz_ref, rnnz_view = self.registry.scratch((n_rows,), np.int64)
                 tasks = [
                     {
@@ -357,22 +443,35 @@ class ExecEngine:
                         "r_hi": hi,
                         "seg_off": int(seg_offs[i]),
                         "count": bucket_counts[i],
+                        "est_off": int(est_offs[i]),
+                        "est_count": est_counts[i],
                         "weight": bucket_counts[i],
                     }
                     for i, (lo, hi) in enumerate(blocks)
                 ]
                 uniques = self._run_tasks("merge_bucket", tasks)
                 self.stats.items += n
+                if any(nu < 0 for nu in uniques):
+                    # An estimated segment overflowed: the bound was not an
+                    # upper bound for this stream.  Fall back to the exact
+                    # symbolic pass rather than resize mid-flight.
+                    self.stats.estimate_overflows += 1
+                    return None
+                self.stats.note_op(
+                    "merge", partitions=len(blocks), items=n,
+                    partitioner=part, backend="numpy",
+                )
                 # Renumber bucket-local duplicate groups into the global
                 # sequence and splice each bucket's unique columns out of
-                # its conservatively sized segment.
+                # its estimate-sized segment.
                 n_groups = 0
                 parts = []
                 for i, nu in enumerate(uniques):
                     seg = slice(int(seg_offs[i]), int(seg_offs[i + 1]))
                     if n_groups:
                         group_view[seg] += n_groups
-                    parts.append(ucols_view[seg.start : seg.start + nu])
+                    est_lo = int(est_offs[i])
+                    parts.append(ucols_view[est_lo : est_lo + nu])
                     n_groups += nu
                 indices = np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
                 indptr = np.zeros(n_rows + 1, dtype=np.int64)
@@ -433,11 +532,19 @@ class ExecEngine:
     def _sum_by_group(
         self, op, sharers, arrays, *, order, group, n_groups
     ) -> np.ndarray | None:
-        """Common body of the two group-summing primitives."""
+        """Common body of the two group-summing primitives.
+
+        Workers accumulate through the ambient kernel backend
+        (:func:`repro.kernels.active`), shipped by name per task — any
+        selected backend is bit-identical by construction, so this only
+        affects per-partition wall-clock.
+        """
         n = len(group)
         if not self._should(n):
             return None
-        blocks = group_aligned_blocks(group, self._n_blocks())
+        part = self._partitioner_for(op)
+        backend = kernels.active_name()
+        blocks = stream_blocks(group, self._n_blocks(), partitioner=part)
         with obs.span(f"exec.{op}", "exec", items=n, partitions=len(blocks)):
             try:
                 inputs = {key: share(arrays[key]) for key, share in sharers.items()}
@@ -449,6 +556,7 @@ class ExecEngine:
                     {
                         **inputs,
                         "out": out_ref,
+                        "backend": backend,
                         "lo": lo,
                         "hi": hi,
                         "g_lo": int(group[lo]),
@@ -459,6 +567,10 @@ class ExecEngine:
                 ]
                 self._run_tasks(op, tasks)
                 self.stats.items += n
+                self.stats.note_op(
+                    op, partitions=len(blocks), items=n,
+                    partitioner=part, backend=backend,
+                )
                 return out_view[:n_groups].copy()
             except _Fallback:
                 return None
@@ -466,7 +578,10 @@ class ExecEngine:
                 self.registry.release_scratch()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<ExecEngine workers={self.workers} min_items={self.min_items}>"
+        return (
+            f"<ExecEngine workers={self.workers} min_items={self.min_items} "
+            f"partitioner={self.partitioner!r}>"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -497,7 +612,7 @@ def _run_task(op: str, task: dict, trace: bool) -> tuple[object, list[dict] | No
 
 
 def _segment_offsets_local(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """``repro.spgemm.expansion._segment_offsets`` for a local slice."""
+    """``repro.kernels.numpy_backend._segment_offsets`` for a local slice."""
     total = int(counts.sum())
     seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
     starts = np.cumsum(counts) - counts
@@ -560,7 +675,9 @@ def _op_merge_bucket(task: dict) -> int:
 
     Writes the bucket's slice of the global sort permutation, duplicate
     groups (bucket-local numbering; the parent renumbers), unique output
-    columns and per-row unique counts.  Returns the bucket's unique count.
+    columns and per-row unique counts.  Returns the bucket's unique count,
+    or ``-1`` if the uniques overflow the bucket's estimated segment (the
+    parent then abandons the call and falls back to the exact pass).
     """
     rows = attach(task["rows"])
     cols = attach(task["cols"])
@@ -586,21 +703,31 @@ def _op_merge_bucket(task: dict) -> int:
     attach(task["group"])[seg] = np.cumsum(boundaries) - 1
     unique_keys = keys[boundaries]
     nu = len(unique_keys)
+    if nu > task["est_count"]:
+        return -1
+    est = slice(task["est_off"], task["est_off"] + nu)
     ucols_out = attach(task["ucols"])
-    ucols_out[seg.start : seg.start + nu] = unique_keys % n_cols
+    ucols_out[est] = unique_keys % n_cols
     urows = (unique_keys // n_cols).astype(np.int64)
     rownnz_out[r_lo:r_hi] = np.bincount(urows - r_lo, minlength=r_hi - r_lo)
     return nu
 
 
 def _op_segmented_sum(task: dict) -> int:
-    """Sum ``vals[order]`` by group over products ``[lo, hi)`` (group-aligned)."""
+    """Sum ``vals[order]`` by group over products ``[lo, hi)`` (group-aligned).
+
+    Dispatches through the shipped kernel backend; every backend performs
+    the same float64 additions in the same stream order (verified at
+    selection time), so the choice cannot change the result.
+    """
     lo, hi, g_lo, g_hi = task["lo"], task["hi"], task["g_lo"], task["g_hi"]
+    backend = kernels.get_backend(task.get("backend", "numpy"))
     vals = attach(task["vals"])
     order = attach(task["order"])
     group = attach(task["group"])
-    local = np.zeros(g_hi - g_lo, dtype=np.float64)
-    np.add.at(local, group[lo:hi] - g_lo, vals[order[lo:hi]])
+    local = backend.segmented_sum(
+        vals, order[lo:hi], group[lo:hi] - g_lo, g_hi - g_lo
+    )
     attach(task["out"])[g_lo:g_hi] = local
     return hi - lo
 
@@ -608,12 +735,15 @@ def _op_segmented_sum(task: dict) -> int:
 def _op_gather_sum(task: dict) -> int:
     """Gather-multiply-sum one group-aligned slice of a replay's products."""
     lo, hi, g_lo, g_hi = task["lo"], task["hi"], task["g_lo"], task["g_hi"]
+    backend = kernels.get_backend(task.get("backend", "numpy"))
     a_data = attach(task["a_data"])
     b_data = attach(task["b_data"])
-    vals = a_data[attach(task["a_gather"])[lo:hi]] * b_data[attach(task["b_gather"])[lo:hi]]
     group = attach(task["group"])
-    local = np.zeros(g_hi - g_lo, dtype=np.float64)
-    np.add.at(local, group[lo:hi] - g_lo, vals)
+    local = backend.gather_multiply_sum(
+        a_data, b_data,
+        attach(task["a_gather"])[lo:hi], attach(task["b_gather"])[lo:hi],
+        group[lo:hi] - g_lo, g_hi - g_lo,
+    )
     attach(task["out"])[g_lo:g_hi] = local
     return hi - lo
 

@@ -10,17 +10,44 @@ range order — and are sized by per-item cost estimates (per-row or per-pair
 flop counts), not item counts, mirroring the paper's precalculated workload
 vectors.
 
+Two cut disciplines are provided, selectable per engine:
+
+* ``lpt`` — :func:`contiguous_blocks` / :func:`group_aligned_blocks`: cuts on
+  the *weight* prefix sum (or even item counts for group streams).  Balances
+  estimated flops but can hand one block a million zero-weight rows and
+  another a single hub row, so per-block *item* traffic is unbounded.
+* ``merge-path`` — :func:`merge_path_blocks` /
+  :func:`merge_path_group_blocks`: cuts on the ``items + work`` diagonal, the
+  two-dimensional balancing of Merrill–Garland merge-based SpMV as applied to
+  SpGEMM by Yang–Buluç–Owens ("Design Principles for Sparse Matrix
+  Multiplication on the GPU").  Every block is bounded in *both* the number
+  of items it touches and the work it performs, which is what keeps hub rows
+  from serialising a block while empty-row runs pad another.
+
 Scheduling follows the bench engine's idiom: partitions are *submitted*
 largest-first (LPT order) onto a dynamic pool, so one overloaded partition
 does not serialise the tail of the call, while *assembly* always happens in
-range order.
+range order.  Both disciplines emit contiguous ranges, so they are
+interchangeable without affecting results — only balance.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["contiguous_blocks", "group_aligned_blocks", "lpt_order"]
+__all__ = [
+    "PARTITIONER_NAMES",
+    "contiguous_blocks",
+    "group_aligned_blocks",
+    "lpt_order",
+    "merge_path_blocks",
+    "merge_path_group_blocks",
+    "weight_blocks",
+    "stream_blocks",
+]
+
+#: Cut disciplines an :class:`~repro.exec.engine.ExecEngine` can select.
+PARTITIONER_NAMES = ("merge-path", "lpt")
 
 
 def contiguous_blocks(
@@ -77,6 +104,89 @@ def group_aligned_blocks(
     snapped = np.searchsorted(group, group[raw], side="left")
     bounds = np.unique(np.concatenate(([0], snapped, [n])))
     return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def merge_path_blocks(
+    weights: np.ndarray, n_blocks: int
+) -> list[tuple[int, int]]:
+    """Split ``[0, len(weights))`` by even cuts of the items + work diagonal.
+
+    The merge-path view: walking the stream consumes one *item* step per
+    element plus ``weights[i]`` *work* steps.  Cutting the combined walk
+    ``cumsum(weights + 1)`` evenly bounds both quantities per block — a block
+    can hold at most its diagonal share of items (so zero-weight runs spread
+    out instead of piling into one range) and at most its share of work plus
+    one item's overshoot (so a hub row still claims a block of its own).
+    Like :func:`contiguous_blocks` this is a pure function of the inputs,
+    covers the full range, and never returns an empty range.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    n_blocks = max(1, min(int(n_blocks), n))
+    if n_blocks == 1:
+        return [(0, n)]
+    diag = np.cumsum(np.asarray(weights, dtype=np.float64) + 1.0)
+    total = float(diag[-1])
+    targets = total * np.arange(1, n_blocks, dtype=np.float64) / n_blocks
+    cuts = np.searchsorted(diag, targets, side="left") + 1
+    bounds = np.unique(np.clip(np.concatenate(([0], cuts, [n])), 0, n))
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def merge_path_group_blocks(
+    group: np.ndarray, n_blocks: int
+) -> list[tuple[int, int]]:
+    """Group-aligned split of a sorted stream by the items + groups diagonal.
+
+    The reduction analogue of :func:`merge_path_blocks`: each stream element
+    is one item step, each *new* group one output step, and cuts fall at even
+    positions of the combined walk before snapping left to the enclosing
+    group boundary.  Compared with :func:`group_aligned_blocks` (items only),
+    a block is bounded in output entries too, so a range of singleton groups
+    (scatter-heavy) cannot be handed the same item budget as one giant group
+    (stream-heavy).  Group-alignment — and therefore bit-identical combined
+    sums — is preserved.
+    """
+    n = len(group)
+    if n == 0:
+        return []
+    n_blocks = max(1, min(int(n_blocks), n))
+    if n_blocks == 1:
+        return [(0, n)]
+    diag = np.arange(1, n + 1, dtype=np.float64) + np.asarray(group, dtype=np.float64)
+    total = float(diag[-1])
+    targets = total * np.arange(1, n_blocks, dtype=np.float64) / n_blocks
+    raw = np.clip(np.searchsorted(diag, targets, side="left"), 0, n - 1)
+    snapped = np.searchsorted(group, group[raw], side="left")
+    bounds = np.unique(np.concatenate(([0], snapped, [n])))
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:])]
+
+
+def weight_blocks(
+    weights: np.ndarray, n_blocks: int, *, partitioner: str = "merge-path"
+) -> list[tuple[int, int]]:
+    """Dispatch a weighted-range split to the named cut discipline."""
+    if partitioner == "merge-path":
+        return merge_path_blocks(weights, n_blocks)
+    if partitioner == "lpt":
+        return contiguous_blocks(weights, n_blocks)
+    raise ValueError(
+        f"unknown partitioner {partitioner!r}; known: {list(PARTITIONER_NAMES)}"
+    )
+
+
+def stream_blocks(
+    group: np.ndarray, n_blocks: int, *, partitioner: str = "merge-path"
+) -> list[tuple[int, int]]:
+    """Dispatch a group-aligned stream split to the named cut discipline."""
+    if partitioner == "merge-path":
+        return merge_path_group_blocks(group, n_blocks)
+    if partitioner == "lpt":
+        return group_aligned_blocks(group, n_blocks)
+    raise ValueError(
+        f"unknown partitioner {partitioner!r}; known: {list(PARTITIONER_NAMES)}"
+    )
 
 
 def lpt_order(block_weights: list[float]) -> list[int]:

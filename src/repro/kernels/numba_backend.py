@@ -1,0 +1,160 @@
+"""The optional numba-compiled backend for the four numeric primitives.
+
+Everything numba lives behind :func:`load`, so importing this module never
+requires numba: callers go through :func:`repro.kernels.get_backend`, which
+raises :class:`~repro.errors.KernelBackendError` with a clear message when
+the wheels are missing, and CI's numba leg skips gracefully.
+
+Bit-identity argument, per primitive:
+
+* the expansions perform the same integer index arithmetic as the NumPy
+  reference, just as explicit loops — integer results are exact;
+* the symbolic merge uses a *stable* mergesort ``argsort``; the stable sort
+  permutation of a key array is unique, so ``order`` (and everything derived
+  from it) is identical to NumPy's stable ``argsort``;
+* the reductions accumulate float64 products in ascending stream order —
+  the order :func:`numpy.ufunc.at` applies repeated indices — so every
+  output entry is the same sequence of float64 additions, bit for bit.
+
+The selection-time verification (:func:`repro.kernels.verify_backend`)
+asserts all of this against the NumPy reference before the backend is ever
+installed; a mismatch refuses the backend rather than risking wrong results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["load"]
+
+#: Filled by :func:`load` on first success so repeat selections skip the
+#: (expensive) jit wrapper construction.
+_CACHE: dict | None = None
+
+
+def load() -> dict:  # pragma: no cover - requires numba wheels
+    """Import numba and return the backend's primitive table.
+
+    Raises ``ImportError`` when numba is not installed; the registry wraps
+    that into :class:`~repro.errors.KernelBackendError`.  Compilation is
+    deferred to first call per primitive (njit lazy dispatch); ``cache=True``
+    persists the machine code next to this module across processes.
+    """
+    global _CACHE
+    if _CACHE is not None:
+        return _CACHE
+
+    from numba import njit
+
+    @njit(cache=True)
+    def _fill_outer(a_indptr, a_indices, b_indptr, b_indices,
+                    rows, cols, a_idx, b_idx):
+        pos = 0
+        for k in range(len(a_indptr) - 1):
+            for i in range(a_indptr[k], a_indptr[k + 1]):
+                r = a_indices[i]
+                for j in range(b_indptr[k], b_indptr[k + 1]):
+                    rows[pos] = r
+                    cols[pos] = b_indices[j]
+                    a_idx[pos] = i
+                    b_idx[pos] = j
+                    pos += 1
+
+    def expand_outer_indices(a_indptr, a_indices, b_indptr, b_indices):
+        total = int((np.diff(a_indptr) * np.diff(b_indptr)).sum())
+        rows = np.empty(total, dtype=np.int64)
+        cols = np.empty(total, dtype=np.int64)
+        a_idx = np.empty(total, dtype=np.int64)
+        b_idx = np.empty(total, dtype=np.int64)
+        _fill_outer(a_indptr, a_indices, b_indptr, b_indices,
+                    rows, cols, a_idx, b_idx)
+        return rows, cols, a_idx, b_idx
+
+    @njit(cache=True)
+    def _fill_row(a_indptr, a_indices, b_indptr, b_indices,
+                  rows, cols, a_idx, b_idx):
+        pos = 0
+        for r in range(len(a_indptr) - 1):
+            for i in range(a_indptr[r], a_indptr[r + 1]):
+                c = a_indices[i]
+                for j in range(b_indptr[c], b_indptr[c + 1]):
+                    rows[pos] = r
+                    cols[pos] = b_indices[j]
+                    a_idx[pos] = i
+                    b_idx[pos] = j
+                    pos += 1
+
+    def expand_row_indices(a_indptr, a_indices, b_indptr, b_indices):
+        total = int(np.diff(b_indptr)[a_indices].sum())
+        rows = np.empty(total, dtype=np.int64)
+        cols = np.empty(total, dtype=np.int64)
+        a_idx = np.empty(total, dtype=np.int64)
+        b_idx = np.empty(total, dtype=np.int64)
+        _fill_row(a_indptr, a_indices, b_indptr, b_indices,
+                  rows, cols, a_idx, b_idx)
+        return rows, cols, a_idx, b_idx
+
+    @njit(cache=True)
+    def _merge_structure(sorted_keys, n_rows, n_cols, group, row_counts):
+        n_groups = 0
+        prev = np.int64(-1)
+        for i in range(len(sorted_keys)):
+            key = sorted_keys[i]
+            if key != prev:
+                n_groups += 1
+                row_counts[key // n_cols] += 1
+                prev = key
+            group[i] = n_groups - 1
+        return n_groups
+
+    def merge_symbolic(rows, cols, n_rows, n_cols):
+        keys = rows.astype(np.int64) * np.int64(n_cols) + cols
+        # Stable mergesort: the permutation is unique across stable sorts,
+        # so this matches NumPy's kind="stable" argsort exactly.
+        order = np.argsort(keys, kind="mergesort")
+        sorted_keys = keys[order]
+        group = np.empty(len(sorted_keys), dtype=np.int64)
+        row_counts = np.zeros(n_rows, dtype=np.int64)
+        n_groups = _merge_structure(sorted_keys, n_rows, n_cols, group, row_counts)
+        boundaries = np.empty(len(sorted_keys), dtype=bool)
+        boundaries[0] = True
+        boundaries[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        indices = sorted_keys[boundaries] % n_cols
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        return order, group, int(n_groups), indptr, indices
+
+    @njit(cache=True)
+    def _segmented_sum(vals, order, group, n_groups):
+        out = np.zeros(n_groups, dtype=np.float64)
+        for i in range(len(order)):
+            out[group[i]] += vals[order[i]]
+        return out
+
+    def segmented_sum(vals, order, group, n_groups):
+        return _segmented_sum(
+            np.ascontiguousarray(vals, dtype=np.float64), order, group, int(n_groups)
+        )
+
+    @njit(cache=True)
+    def _gather_multiply_sum(a_data, b_data, a_gather, b_gather, group, n_groups):
+        out = np.zeros(n_groups, dtype=np.float64)
+        for i in range(len(group)):
+            out[group[i]] += a_data[a_gather[i]] * b_data[b_gather[i]]
+        return out
+
+    def gather_multiply_sum(a_data, b_data, a_gather, b_gather, group, n_groups):
+        return _gather_multiply_sum(
+            np.ascontiguousarray(a_data, dtype=np.float64),
+            np.ascontiguousarray(b_data, dtype=np.float64),
+            a_gather, b_gather, group, int(n_groups),
+        )
+
+    _CACHE = {
+        "expand_outer_indices": expand_outer_indices,
+        "expand_row_indices": expand_row_indices,
+        "merge_symbolic": merge_symbolic,
+        "segmented_sum": segmented_sum,
+        "gather_multiply_sum": gather_multiply_sum,
+    }
+    return _CACHE

@@ -3,9 +3,11 @@
 The multicore execution plane (:mod:`repro.exec`) counts how its primitives
 actually ran — partitioned across the pool, serially below the size
 threshold, or re-run serially after a pool failure — plus partition/item
-totals and shared-memory publish reuse.  :func:`format_exec_stats` renders
-an :class:`~repro.exec.ExecStats` snapshot for ``repro run --exec-workers``
-and the exec bench (``tools/bench_exec.py``), mirroring
+totals, shared-memory publish reuse, and a per-op breakdown recording which
+cut discipline and kernel backend each primitive used.
+:func:`format_exec_stats` renders an :class:`~repro.exec.ExecStats` snapshot
+for ``repro run --exec-workers`` and the exec bench
+(``tools/bench_exec.py``), mirroring
 :func:`~repro.metrics.planprof.format_cache_stats` for the plan cache.
 """
 
@@ -17,10 +19,23 @@ __all__ = ["ExecStats", "format_exec_stats"]
 
 
 def format_exec_stats(stats: ExecStats) -> str:
-    """One-line human-readable rendering of execution-engine counters."""
-    return (
+    """Human-readable rendering of execution-engine counters.
+
+    One summary line, then one line per partitioned op naming the
+    partitioner and backend it ran with — the self-description traces and
+    BENCH artifacts need to attribute a number to a configuration.
+    """
+    lines = [
         f"exec engine: {stats.parallel_calls} parallel calls "
         f"({stats.partitions} partitions, {stats.items} items), "
         f"{stats.serial_calls} below threshold, {stats.fallbacks} fallbacks, "
+        f"{stats.estimate_overflows} estimate overflows, "
         f"shm publishes {stats.publish_hits} reused / {stats.publish_misses} copied"
-    )
+    ]
+    for op, entry in sorted(stats.per_op.items()):
+        lines.append(
+            f"  {op}: {entry['calls']} calls, {entry['partitions']} partitions, "
+            f"{entry['items']} items "
+            f"[partitioner={entry['partitioner']}, backend={entry['backend']}]"
+        )
+    return "\n".join(lines)

@@ -40,7 +40,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro import exec as rexec
-from repro import obs
+from repro import kernels, obs
 from repro.sparse.csr import CSRMatrix
 
 if TYPE_CHECKING:  # pragma: no cover - annotations only
@@ -135,8 +135,9 @@ class NumericRecipe:
                 return CSRMatrix(
                     self.shape, self.indptr.copy(), self.indices.copy(), summed
                 )
-        summed = np.zeros(self.n_groups, dtype=np.float64)
-        np.add.at(summed, self.group, a_data[self.a_gather] * b_data[self.b_gather])
+        summed = kernels.active().gather_multiply_sum(
+            a_data, b_data, self.a_gather, self.b_gather, self.group, self.n_groups
+        )
         return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), summed)
 
 

@@ -227,8 +227,17 @@ class NumericState:
         return len(rows)
 
     def coalesce(self) -> CSRMatrix:
-        """Merge the emitted stream into canonical CSR (idempotent)."""
+        """Merge the emitted stream into canonical CSR (idempotent).
+
+        Passes the context's output-nnz upper bound
+        (:func:`repro.plan.estimate.row_nnz_upper_bound` over the
+        precalculated workload vector) to the merge so the partitioned
+        engine can size its scratch from the estimate — Ocean's
+        estimation-based allocation, with the exact pass as the overflow
+        fallback.
+        """
         if self.result is None:
+            from repro.plan.estimate import row_nnz_upper_bound
             from repro.sparse.csr import CSRMatrix
             from repro.spgemm.merge import plan_merge
 
@@ -236,7 +245,8 @@ class NumericState:
             if len(rows) == 0:
                 self.result = CSRMatrix.empty(self.ctx.out_shape)
             else:
-                recipe = plan_merge(rows, cols, self.ctx.out_shape)
+                est = row_nnz_upper_bound(self.ctx.row_work, self.ctx.out_shape[1])
+                recipe = plan_merge(rows, cols, self.ctx.out_shape, est_row_nnz=est)
                 self.result = recipe.apply(vals)
                 if self.track_provenance:
                     self.merge_recipe = recipe

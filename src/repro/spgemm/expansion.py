@@ -9,15 +9,17 @@ shape, which the trace builders capture):
 * :func:`expand_row` — grouped by output row ``i``: Gustavson's formulation
   (one thread group per row).
 
-Both are fully vectorised; the returned arrays are the numeric ground truth
-that the merge stage coalesces into C.
+The serial bodies dispatch through the ambient kernel backend
+(:func:`repro.kernels.active` — the vectorised NumPy reference, or the
+optional compiled backend, verified bit-identical at selection time); the
+returned arrays are the numeric ground truth that the merge stage coalesces
+into C.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro import exec as rexec
+from repro import kernels
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import check_multipliable
@@ -28,16 +30,6 @@ __all__ = [
     "expand_row",
     "expand_row_indices",
 ]
-
-
-def _segment_offsets(counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """For segments of the given sizes, return (segment id, offset within
-    segment) for every element of the concatenation."""
-    total = int(counts.sum())
-    seg_of = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
-    starts = np.cumsum(counts) - counts
-    offsets = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
-    return seg_of, offsets
 
 
 def expand_outer_indices(
@@ -57,18 +49,9 @@ def expand_outer_indices(
         out = engine.expand_outer_indices(a_csc, b_csr)
         if out is not None:  # else: below threshold / pool broke -> serial
             return out
-    na = a_csc.col_nnz()
-    nb = b_csr.row_nnz()
-    counts = na * nb
-    pair_of, offsets = _segment_offsets(counts)
-
-    nb_per = nb[pair_of]
-    a_pos = offsets // np.maximum(nb_per, 1)
-    b_pos = offsets % np.maximum(nb_per, 1)
-
-    a_idx = a_csc.indptr[pair_of] + a_pos
-    b_idx = b_csr.indptr[pair_of] + b_pos
-    return a_csc.indices[a_idx], b_csr.indices[b_idx], a_idx, b_idx
+    return kernels.active().expand_outer_indices(
+        a_csc.indptr, a_csc.indices, b_csr.indptr, b_csr.indices
+    )
 
 
 def expand_outer(a_csc: CSCMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -98,15 +81,9 @@ def expand_row_indices(
         out = engine.expand_row_indices(a_csr, b_csr)
         if out is not None:  # else: below threshold / pool broke -> serial
             return out
-    b_row_nnz = b_csr.row_nnz()
-    per_entry = b_row_nnz[a_csr.indices]
-    entry_of, offsets = _segment_offsets(per_entry)
-
-    row_of_entry = np.repeat(np.arange(a_csr.n_rows, dtype=np.int64), a_csr.row_nnz())
-    rows = row_of_entry[entry_of]
-    b_rows = a_csr.indices[entry_of]
-    b_idx = b_csr.indptr[b_rows] + offsets
-    return rows, b_csr.indices[b_idx], entry_of, b_idx
+    return kernels.active().expand_row_indices(
+        a_csr.indptr, a_csr.indices, b_csr.indptr, b_csr.indices
+    )
 
 
 def expand_row(a_csr: CSRMatrix, b_csr: CSRMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

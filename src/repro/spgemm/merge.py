@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import exec as rexec
+from repro import kernels
 from repro.errors import ShapeMismatchError
 from repro.sparse.csr import CSRMatrix
 
@@ -79,15 +80,28 @@ class MergeRecipe:
                 return CSRMatrix(
                     self.shape, self.indptr.copy(), self.indices.copy(), summed
                 )
-        summed = np.zeros(self.n_groups, dtype=np.float64)
-        np.add.at(summed, self.group, vals[self.order])
+        summed = kernels.active().segmented_sum(
+            vals, self.order, self.group, self.n_groups
+        )
         return CSRMatrix(self.shape, self.indptr.copy(), self.indices.copy(), summed)
 
 
 def plan_merge(
-    rows: np.ndarray, cols: np.ndarray, shape: tuple[int, int]
+    rows: np.ndarray,
+    cols: np.ndarray,
+    shape: tuple[int, int],
+    *,
+    est_row_nnz: np.ndarray | None = None,
 ) -> MergeRecipe:
-    """Capture the symbolic half of merging the given triplet coordinates."""
+    """Capture the symbolic half of merging the given triplet coordinates.
+
+    ``est_row_nnz`` (optional, see :mod:`repro.plan.estimate`) is a per-row
+    output-nnz upper bound forwarded to the partitioned engine, which then
+    allocates its unique-column scratch from the estimate instead of the
+    stream length; an undershooting estimate makes the engine decline the
+    call and this function run the exact serial pass, so the recipe is the
+    same either way.
+    """
     n_rows, n_cols = shape
     if len(rows) == 0:
         zi = np.zeros(0, dtype=np.int64)
@@ -96,22 +110,15 @@ def plan_merge(
         )
     engine = rexec.active()
     if engine is not None:
-        recipe = engine.merge(rows, cols, shape)
+        recipe = engine.merge(rows, cols, shape, est_row_nnz=est_row_nnz)
         if recipe is not None:  # else: below threshold / pool broke -> serial
             return recipe
-    order, keys = _sorted_keys(rows, cols, shape)
-
-    boundaries = np.empty(len(keys), dtype=bool)
-    boundaries[0] = True
-    boundaries[1:] = keys[1:] != keys[:-1]
-    group = np.cumsum(boundaries) - 1
-
-    unique_keys = keys[boundaries]
-    out_rows = unique_keys // n_cols
-    out_cols = unique_keys % n_cols
-    indptr = np.zeros(n_rows + 1, dtype=np.int64)
-    np.cumsum(np.bincount(out_rows, minlength=n_rows), out=indptr[1:])
-    return MergeRecipe(shape, order, group, int(group[-1]) + 1, indptr, out_cols)
+    if len(rows) and (rows.max() >= n_rows or cols.max() >= n_cols):
+        raise ShapeMismatchError("triplet coordinate out of range")
+    order, group, n_groups, indptr, indices = kernels.active().merge_symbolic(
+        rows, cols, n_rows, n_cols
+    )
+    return MergeRecipe(shape, order, group, n_groups, indptr, indices)
 
 
 def merge_triplets(

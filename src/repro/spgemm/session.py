@@ -55,12 +55,13 @@ class IterativeSession:
         cache: PlanCache | None = None,
         config: GPUConfig | None = None,
         exec_workers: int | None = None,
+        exec_partitioner: str = rexec.DEFAULT_PARTITIONER,
     ) -> None:
         self.algorithm = algorithm
         self.cache = cache if cache is not None else PlanCache()
         self.config = config
         self.exec_engine = (
-            rexec.ExecEngine(int(exec_workers))
+            rexec.ExecEngine(int(exec_workers), partitioner=exec_partitioner)
             if exec_workers is not None and int(exec_workers) > 1
             else None
         )

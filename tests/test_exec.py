@@ -12,9 +12,21 @@ import numpy as np
 import pytest
 
 from repro import exec as rexec
-from repro.exec.partition import contiguous_blocks, group_aligned_blocks, lpt_order
+from repro.errors import ConfigurationError
+from repro.exec.partition import (
+    contiguous_blocks,
+    group_aligned_blocks,
+    lpt_order,
+    merge_path_blocks,
+    merge_path_group_blocks,
+    stream_blocks,
+    weight_blocks,
+)
 from repro.exec.shm import SharedArrayRegistry, attach
 from repro.metrics.execprof import format_exec_stats
+from repro.plan.estimate import estimate_output_nnz, row_nnz_upper_bound
+from repro.spgemm.expansion import expand_row_indices
+from repro.spgemm.merge import plan_merge
 
 
 def _assert_covers(blocks, n):
@@ -76,6 +88,175 @@ class TestGroupAlignedBlocks:
 
     def test_empty(self):
         assert group_aligned_blocks(np.zeros(0, dtype=np.int64), 4) == []
+
+
+class TestMergePathBlocks:
+    def test_covers_range_contiguously(self, rng):
+        weights = rng.integers(0, 50, size=137)
+        _assert_covers(merge_path_blocks(weights, 8), 137)
+
+    def test_deterministic(self, rng):
+        weights = rng.integers(0, 50, size=200)
+        assert merge_path_blocks(weights, 6) == merge_path_blocks(weights, 6)
+
+    def test_zero_weights_spread_evenly(self):
+        # All-empty rows carry no work, but the item axis of the diagonal
+        # still spreads them across blocks (LPT would need its explicit
+        # zero-total fallback for the same outcome).
+        blocks = merge_path_blocks(np.zeros(12, dtype=np.int64), 4)
+        _assert_covers(blocks, 12)
+        assert len(blocks) == 4
+        assert all(hi - lo == 3 for lo, hi in blocks)
+
+    def test_hub_item_gets_isolated(self):
+        # One row holds >90% of the flops: the cut lands right after it, so
+        # the hub cannot drag a long tail of light rows into its block.
+        weights = np.ones(100, dtype=np.int64)
+        weights[50] = 10_000
+        blocks = merge_path_blocks(weights, 4)
+        _assert_covers(blocks, 100)
+        hub_block = next((lo, hi) for lo, hi in blocks if lo <= 50 < hi)
+        assert hub_block[1] == 51
+
+    def test_uniform_weights_balance_items(self):
+        blocks = merge_path_blocks(np.full(96, 7, dtype=np.int64), 4)
+        sizes = [hi - lo for lo, hi in blocks]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_items_bounded_even_when_weights_skewed(self, rng):
+        # The property LPT lacks: per-block item counts stay bounded by the
+        # diagonal share even when nearly all weight sits in a few items.
+        weights = np.zeros(1000, dtype=np.int64)
+        weights[::97] = 5000
+        blocks = merge_path_blocks(weights, 8)
+        _assert_covers(blocks, 1000)
+        assert max(hi - lo for lo, hi in blocks) < 1000
+
+    def test_more_blocks_than_items_clamps(self):
+        blocks = merge_path_blocks(np.ones(3), 16)
+        _assert_covers(blocks, 3)
+        assert len(blocks) <= 3
+
+    def test_empty(self):
+        assert merge_path_blocks(np.zeros(0), 4) == []
+
+
+class TestMergePathGroupBlocks:
+    def test_never_splits_a_group(self, rng):
+        group = np.sort(rng.integers(0, 40, size=300))
+        blocks = merge_path_group_blocks(group, 8)
+        _assert_covers(blocks, 300)
+        for lo, hi in blocks:
+            if lo > 0:
+                assert group[lo] != group[lo - 1]
+
+    def test_single_group_collapses_to_one_block(self):
+        blocks = merge_path_group_blocks(np.zeros(50, dtype=np.int64), 4)
+        assert blocks == [(0, 50)]
+
+    def test_giant_group_among_singletons(self):
+        # One group holds >90% of the stream; cuts inside it snap left to
+        # its boundary, so the singleton run splits off and the giant group
+        # stays whole (a group is never divisible).
+        group = np.concatenate(
+            [np.arange(40, dtype=np.int64), np.full(900, 40, dtype=np.int64)]
+        )
+        blocks = merge_path_group_blocks(group, 4)
+        assert blocks == [(0, 40), (40, 940)]
+
+    def test_empty(self):
+        assert merge_path_group_blocks(np.zeros(0, dtype=np.int64), 4) == []
+
+
+class TestPartitionerDispatch:
+    def test_weight_blocks_dispatches_both_names(self, rng):
+        weights = rng.integers(0, 50, size=80)
+        assert weight_blocks(weights, 4, partitioner="merge-path") == (
+            merge_path_blocks(weights, 4)
+        )
+        assert weight_blocks(weights, 4, partitioner="lpt") == (
+            contiguous_blocks(weights, 4)
+        )
+
+    def test_stream_blocks_dispatches_both_names(self, rng):
+        group = np.sort(rng.integers(0, 30, size=200))
+        assert stream_blocks(group, 4, partitioner="merge-path") == (
+            merge_path_group_blocks(group, 4)
+        )
+        assert stream_blocks(group, 4, partitioner="lpt") == (
+            group_aligned_blocks(group, 4)
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            weight_blocks(np.ones(4), 2, partitioner="bogus")
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            stream_blocks(np.zeros(4, dtype=np.int64), 2, partitioner="bogus")
+
+    def test_engine_validates_partitioner_names(self):
+        with pytest.raises(ConfigurationError, match="unknown partitioner"):
+            rexec.ExecEngine(2, partitioner="bogus")
+        with pytest.raises(ConfigurationError, match="unknown partitioner"):
+            rexec.ExecEngine(2, partitioner_overrides={"merge": "bogus"})
+
+    def test_engine_per_op_override(self):
+        engine = rexec.ExecEngine(
+            2, partitioner="merge-path", partitioner_overrides={"merge": "lpt"}
+        )
+        try:
+            assert engine._partitioner_for("merge") == "lpt"
+            assert engine._partitioner_for("expand_row") == "merge-path"
+        finally:
+            engine.close()
+
+    def test_default_partitioner_is_merge_path(self):
+        assert rexec.DEFAULT_PARTITIONER == "merge-path"
+        assert rexec.DEFAULT_PARTITIONER in rexec.PARTITIONER_NAMES
+
+
+class TestEstimatedMergeSizing:
+    def test_row_nnz_upper_bound_caps_at_n_cols(self):
+        row_work = np.array([0, 3, 500, 12], dtype=np.int64)
+        bound = row_nnz_upper_bound(row_work, 40)
+        np.testing.assert_array_equal(bound, [0, 3, 40, 12])
+        assert bound.dtype == np.int64
+        assert estimate_output_nnz(row_work, 40) == 55
+
+    def test_estimated_merge_matches_exact(self, square_csr):
+        rows, cols, _, _ = expand_row_indices(square_csr, square_csr)
+        shape = (square_csr.n_rows, square_csr.n_rows)
+        exact = plan_merge(rows, cols, shape)
+        est = row_nnz_upper_bound(
+            np.bincount(rows, minlength=shape[0]), shape[1]
+        )
+        engine = rexec.ExecEngine(2, min_items=0)
+        try:
+            recipe = engine.merge(rows, cols, shape, est_row_nnz=est)
+            assert recipe is not None
+            assert engine.stats.estimate_overflows == 0
+            np.testing.assert_array_equal(recipe.order, exact.order)
+            np.testing.assert_array_equal(recipe.group, exact.group)
+            assert recipe.n_groups == exact.n_groups
+            np.testing.assert_array_equal(recipe.indptr, exact.indptr)
+            np.testing.assert_array_equal(recipe.indices, exact.indices)
+        finally:
+            engine.close()
+
+    def test_underestimate_falls_back_and_counts(self, square_csr):
+        # A bound that is not an upper bound must abort the estimated pass
+        # (None -> caller's exact serial path), never mis-size the output.
+        rows, cols, _, _ = expand_row_indices(square_csr, square_csr)
+        shape = (square_csr.n_rows, square_csr.n_rows)
+        engine = rexec.ExecEngine(2, min_items=0)
+        try:
+            out = engine.merge(
+                rows, cols, shape,
+                est_row_nnz=np.zeros(shape[0], dtype=np.int64),
+            )
+            assert out is None
+            assert engine.stats.estimate_overflows == 1
+        finally:
+            engine.close()
 
 
 class TestLptOrder:
@@ -213,13 +394,32 @@ class TestEngineDegradation:
 
 def test_stats_as_dict_and_formatting():
     stats = rexec.ExecStats(parallel_calls=3, partitions=12, items=1000, publish_hits=2)
+    stats.note_op(
+        "merge", partitions=4, items=600, partitioner="merge-path", backend="numpy"
+    )
+    stats.note_op(
+        "merge", partitions=8, items=400, partitioner="merge-path", backend="numpy"
+    )
     snapshot = stats.as_dict()
     assert snapshot["parallel_calls"] == 3
     assert snapshot["partitions"] == 12
-    line = format_exec_stats(stats)
-    assert "3 parallel calls" in line
-    assert "12 partitions" in line
-    assert "2 reused" in line
+    assert snapshot["per_op"]["merge"] == {
+        "calls": 2,
+        "partitions": 12,
+        "items": 1000,
+        "partitioner": "merge-path",
+        "backend": "numpy",
+    }
+    # The snapshot is a copy: mutating it must not write back into stats.
+    snapshot["per_op"]["merge"]["calls"] = 99
+    assert stats.per_op["merge"]["calls"] == 2
+    text = format_exec_stats(stats)
+    assert "3 parallel calls" in text
+    assert "12 partitions" in text
+    assert "2 reused" in text
+    assert "0 estimate overflows" in text
+    assert "merge: 2 calls" in text
+    assert "[partitioner=merge-path, backend=numpy]" in text
 
 
 def test_default_exec_workers_positive():

@@ -182,3 +182,40 @@ def test_exec_workers_one_is_plain_serial(matrices):
         assert session.exec_engine is None
     finally:
         session.close()
+
+
+@pytest.fixture(scope="module")
+def partitioner_engines():
+    """One pool per cut discipline, same width, threshold forced to zero."""
+    engines = {
+        name: rexec.ExecEngine(2, min_items=0, partitioner=name)
+        for name in rexec.PARTITIONER_NAMES
+    }
+    yield engines
+    for engine in engines.values():
+        engine.close()
+
+
+class TestPartitionerEquivalence:
+    """merge-path and lpt cut differently but must compute identically."""
+
+    @pytest.mark.parametrize("algo_index", range(7))
+    def test_all_schemes_identical_across_partitioners(
+        self, partitioner_engines, matrices, algo_index
+    ):
+        algo = paper_algorithms()[algo_index]
+        for a in (matrices["uniform"], matrices["skewed"]):
+            ctx = MultiplyContext.build(a)
+            outputs = {}
+            for name, engine in partitioner_engines.items():
+                with rexec.engine_scope(engine):
+                    outputs[name] = algo.multiply(ctx)
+            _assert_bit_identical(outputs["merge-path"], outputs["lpt"])
+            outputs["merge-path"].validate()
+
+    def test_partitioners_record_their_name(self, partitioner_engines, matrices):
+        a = matrices["skewed"]
+        for name, engine in partitioner_engines.items():
+            with rexec.engine_scope(engine):
+                plan_merge(*expand_row_indices(a, a)[:2], (a.n_rows, a.n_rows))
+            assert engine.stats.per_op["merge"]["partitioner"] == name

@@ -13,13 +13,26 @@ Every parallel result is compared **bitwise** against the serial one before
 any timing is reported — a mismatch aborts with exit code 1, so the artifact
 can never contain timings for wrong results.
 
+The grid has two further axes: ``--kernel-backend`` selects the numeric
+kernel implementation (``numpy`` reference or compiled ``numba``, verified
+bit-identical at selection time) and ``--partitioner`` the cut discipline
+(``merge-path`` items+work diagonal or ``lpt`` weight prefix).
+
 Writes the measurements (plus host CPU availability — process-pool speedups
 are only meaningful when the host actually has spare cores) as JSON:
-``BENCH_pr5.json`` at the repo root records the PR's numbers.
+``BENCH_pr6.json`` at the repo root records this PR's numbers.
+
+``--require-speedup X`` turns the run into a CI gate: on a host with at
+least two available CPUs, every dataset must reach an ``X``-fold replay or
+multiply speedup at two workers, else exit 1 (overhead regression).  On a
+single-core host the gate records itself as skipped — enforcing it there
+would only measure pool overhead.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_exec.py --out BENCH_pr5.json
+    PYTHONPATH=src python tools/bench_exec.py --out BENCH_pr6.json
+    PYTHONPATH=src python tools/bench_exec.py --workers 2 \
+        --require-speedup 1.0 --out bench_gate.json
 """
 
 from __future__ import annotations
@@ -34,7 +47,9 @@ import time
 import numpy as np
 
 from repro import exec as rexec
+from repro import kernels
 from repro.bench.runner import get_context
+from repro.errors import KernelBackendError
 from repro.spgemm.rowproduct import RowProductSpGEMM
 from repro.spgemm.session import IterativeSession
 
@@ -68,9 +83,9 @@ def _time_multiply(algo, ctx, engine, repeats: int):
     return best, result
 
 
-def _time_replay(algo, ctx, workers: int, iterations: int):
+def _time_replay(algo, ctx, workers: int, iterations: int, partitioner: str):
     """Mean warm-replay wall-clock through a persistent-engine session."""
-    session = IterativeSession(algo, exec_workers=workers)
+    session = IterativeSession(algo, exec_workers=workers, exec_partitioner=partitioner)
     try:
         session.multiply(ctx.a_csr, ctx.b_csr)  # cold fill (not timed)
         start = time.perf_counter()
@@ -96,16 +111,36 @@ def main() -> int:
                         help="cold multiplies per mode (best is reported)")
     parser.add_argument("--iterations", type=int, default=10,
                         help="warm replays per mode (mean is reported)")
-    parser.add_argument("--out", default="BENCH_pr5.json")
+    parser.add_argument("--kernel-backend", choices=list(kernels.BACKEND_NAMES),
+                        default=None,
+                        help="kernel backend for every mode (default: ambient)")
+    parser.add_argument("--partitioner", choices=list(rexec.PARTITIONER_NAMES),
+                        default=rexec.DEFAULT_PARTITIONER,
+                        help="cut discipline for the parallel modes")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless 2-worker speedup reaches X on a "
+                             "multi-core host (overhead regression gate)")
+    parser.add_argument("--out", default="BENCH_pr6.json")
     args = parser.parse_args()
 
+    try:
+        with kernels.use(args.kernel_backend):
+            return _run(args)
+    except KernelBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
+    """The measurement grid proper, under an already-selected backend."""
     algo = RowProductSpGEMM()
     records, failures = [], []
     for dataset in args.datasets:
         ctx = get_context(dataset)  # symbolic pass forced here, outside timings
         serial_s, serial_c = _time_multiply(algo, ctx, None, args.repeats)
         serial_replay_s, serial_replay_c, _ = _time_replay(
-            algo, ctx, 1, args.iterations
+            algo, ctx, 1, args.iterations, args.partitioner
         )
         if not _identical(serial_c, serial_replay_c):
             failures.append(f"{dataset}: serial replay differs from cold multiply")
@@ -120,14 +155,14 @@ def main() -> int:
             "parallel": {},
         }
         for workers in args.workers:
-            engine = rexec.ExecEngine(workers)
+            engine = rexec.ExecEngine(workers, partitioner=args.partitioner)
             try:
                 par_s, par_c = _time_multiply(algo, ctx, engine, args.repeats)
                 exec_stats = engine.stats.as_dict()
             finally:
                 engine.close()
             par_replay_s, par_replay_c, replay_stats = _time_replay(
-                algo, ctx, workers, args.iterations
+                algo, ctx, workers, args.iterations, args.partitioner
             )
             if not _identical(serial_c, par_c):
                 failures.append(f"{dataset}: workers={workers} multiply differs")
@@ -150,10 +185,13 @@ def main() -> int:
             )
         records.append(record)
 
+    gate = _speedup_gate(args, records, failures)
     payload = {
         "description": "repro.exec multicore numeric plane, serial vs "
                        "partitioned (bit-identical results asserted per mode)",
         "engine": algo.name,
+        "kernel_backend": kernels.active_name(),
+        "partitioner": args.partitioner,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "host_cpu_count": os.cpu_count(),
@@ -161,7 +199,8 @@ def main() -> int:
         "note": "process-pool speedup requires spare physical cores; on a "
                 "single-core host the partitioned path measures pure overhead",
         "results": records,
-        "bit_identical": not failures,
+        "speedup_gate": gate,
+        "bit_identical": not any(" differs" in f for f in failures),
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2)
@@ -173,6 +212,42 @@ def main() -> int:
     print(f"wrote {len(records)} records to {args.out} "
           f"(host: {_available_cpus()} available cpus)")
     return 0
+
+
+def _speedup_gate(args, records, failures) -> dict:
+    """Evaluate the overhead-regression gate; append failures in place.
+
+    The gate only has meaning on a host with spare cores: with two workers
+    sharing one CPU, the partitioned path measures pure pool overhead, so a
+    single-core host records the gate as skipped instead of enforcing it.
+    """
+    gate = {
+        "threshold": args.require_speedup,
+        "enforced": False,
+        "checked": [],
+    }
+    if args.require_speedup is None:
+        return gate
+    if _available_cpus() < 2:
+        gate["skipped_reason"] = (
+            f"host has {_available_cpus()} available cpu(s); "
+            "speedup gate needs >= 2"
+        )
+        print(f"speedup gate skipped: {gate['skipped_reason']}")
+        return gate
+    gate["enforced"] = True
+    for record in records:
+        two = record["parallel"].get("2")
+        if two is None:
+            continue
+        best = max(two["multiply_speedup"], two["replay_speedup"])
+        gate["checked"].append({"dataset": record["dataset"], "best_speedup": best})
+        if best < args.require_speedup:
+            failures.append(
+                f"{record['dataset']}: 2-worker speedup x{best:.2f} below "
+                f"required x{args.require_speedup:.2f} (overhead regression)"
+            )
+    return gate
 
 
 if __name__ == "__main__":

@@ -23,7 +23,14 @@ must be exactly equal, except ``gflops`` which may drift by at most 1e-9.
 Any intended change to simulation semantics must regenerate the golden with
 ``--update-golden`` and commit it alongside the change.
 
-Exit code 0 on success, 1 on any mismatch.
+``--kernel-backend`` runs the entire smoke under a non-default kernel
+backend (e.g. ``numba``).  Because backends are bit-identical by contract,
+the *same* committed golden grid must still match — CI's numba leg runs
+``--kernel-backend numba --exec-workers 2`` against the golden written by
+the numpy leg.  An unavailable backend exits 2 (the CI leg guards on
+importability first, so wheel gaps skip rather than fail).
+
+Exit code 0 on success, 1 on any mismatch, 2 on an unavailable backend.
 """
 
 from __future__ import annotations
@@ -37,13 +44,22 @@ import tempfile
 import numpy as np
 
 from repro import exec as rexec
+from repro import kernels
 from repro.bench.cache import ResultCache, result_to_dict
 from repro.bench.runner import clear_context_cache, get_context, paper_algorithms, run_matrix
 from repro.datasets.loader import clear_cache
+from repro.errors import KernelBackendError
 
 DATASETS = ["poisson3da", "as_caida"]
 DEFAULT_GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "bench_smoke_golden.json")
 GFLOPS_TOLERANCE = 1e-9
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _canonical(results) -> dict[str, str]:
@@ -137,8 +153,23 @@ def main() -> int:
         "--update-golden", action="store_true",
         help="rewrite the golden grid from this run instead of diffing",
     )
+    parser.add_argument(
+        "--kernel-backend", choices=list(kernels.BACKEND_NAMES), default=None,
+        help="run the whole smoke under this kernel backend; the committed "
+             "golden must still match bit for bit",
+    )
     args = parser.parse_args()
 
+    try:
+        with kernels.use(args.kernel_backend):
+            return _run(args)
+    except KernelBackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run(args) -> int:
+    """The smoke proper, under an already-selected kernel backend."""
     failures: list[str] = []
     grid = (args.datasets, paper_algorithms())
 
@@ -193,6 +224,8 @@ def main() -> int:
         "datasets": args.datasets,
         "workers": args.workers,
         "exec_workers": args.exec_workers,
+        "kernel_backend": kernels.active_name(),
+        "host_available_cpus": _available_cpus(),
         "exec_plane_cells": exec_cells,
         "cells": len(serial),
         "cold_cache_misses": cold_misses,
@@ -210,7 +243,8 @@ def main() -> int:
         f"OK: {len(serial)} cells identical across serial, "
         f"parallel(workers={args.workers}) and cached paths; "
         f"{exec_cells} numeric products bit-identical under "
-        f"exec-workers={args.exec_workers} -> {args.out}"
+        f"exec-workers={args.exec_workers} "
+        f"[backend={kernels.active_name()}] -> {args.out}"
     )
     return 0
 
