@@ -6,8 +6,8 @@ Commands:
 * ``run``               — simulate one algorithm on one dataset and print the
                           profile (optionally dump JSON); ``--iterations N``
                           additionally runs the numeric plane N times through
-                          an :class:`~repro.spgemm.session.IterativeSession`
-                          and prints the plan cache's amortisation counters.
+                          a warm session and prints the plan cache's
+                          amortisation counters.
 * ``compare``           — all seven schemes on one dataset, speedup table.
 * ``bench``             — a (datasets × algorithms) grid through the shared
                           runner: sharded across ``--workers`` processes and
@@ -22,15 +22,20 @@ Commands:
                           the recorded span tree plus a per-category
                           wall-clock rollup; ``--out FILE`` writes a
                           Perfetto-loadable Chrome trace.
+* ``serve``             — long-lived multiply-as-a-service HTTP front-end
+                          (:mod:`repro.serve`): warm fingerprint-keyed
+                          sessions, micro-batching, admission control.
 
-``compare``, ``bench`` and ``experiment`` accept the execution flags
-``--workers N`` (0 = all cores), ``--cache-dir PATH``, ``--no-cache``,
-``--shard-timeout SECONDS`` (parallel no-progress window before hung shards
-re-run serially), ``--exec-workers N`` (process-pool width for the numeric
-kernels via :mod:`repro.exec`; bit-identical to serial),
-``--exec-partitioner {merge-path,lpt}`` (the exec plane's cut discipline),
-``--kernel-backend {numpy,numba}`` (numeric-primitive backend, verified
-bit-identical at selection) and ``--trace FILE`` (record the whole
+Every command is a thin adapter over one :class:`repro.runtime.Runtime`,
+which owns engines, sessions, caches and backend scopes; the CLI itself
+constructs none of them.  ``compare``, ``bench`` and ``experiment`` accept
+the execution flags ``--workers N`` (0 = all cores), ``--cache-dir PATH``,
+``--no-cache``, ``--shard-timeout SECONDS`` (parallel no-progress window
+before hung shards re-run serially), ``--exec-workers N`` (process-pool
+width for the numeric kernels via :mod:`repro.exec`; bit-identical to
+serial), ``--exec-partitioner {merge-path,lpt}`` (the exec plane's cut
+discipline), ``--kernel-backend {numpy,numba}`` (numeric-primitive backend,
+verified bit-identical at selection) and ``--trace FILE`` (record the whole
 invocation and write a Chrome trace); ``run`` accepts ``--exec-workers``,
 ``--exec-partitioner``, ``--kernel-backend`` and ``--trace`` too.  Caching
 defaults to on, under ``~/.cache/repro``.
@@ -44,20 +49,18 @@ import json
 import sys
 
 from repro import exec as rexec
-from repro import kernels, obs
+from repro import kernels
 from repro.bench import runner
-from repro.bench.cache import ResultCache, result_to_dict
-from repro.bench.parallel import default_workers
-from repro.bench.runner import get_context, paper_algorithms, run_matrix
+from repro.bench.cache import result_to_dict
 from repro.bench.tables import format_table
 from repro.datasets.catalog import list_names, list_specs
 from repro.errors import ReproError
-from repro.gpusim.config import ALL_GPUS, TITAN_XP
+from repro.gpusim.config import TITAN_XP
 from repro.gpusim.export import stats_to_json
-from repro.gpusim.simulator import GPUSimulator
 from repro.metrics.obsprof import category_rollup, format_rollup
 from repro.metrics.profiling import profile_report
 from repro.plan.show import format_executions, format_plan
+from repro.runtime import Runtime, RuntimeConfig, lifecycle
 
 __all__ = ["build_parser", "main"]
 
@@ -67,22 +70,6 @@ _EXPERIMENTS = [
     "fig11_lbi", "fig12_l2_split", "fig13_sync_stalls", "fig14_l2_limit",
     "fig15_scalability", "fig16_synthetic", "sec4e_youtube",
 ]
-
-
-def _gpu_by_name(name: str):
-    for gpu in ALL_GPUS:
-        if gpu.name.lower().replace(" ", "") == name.lower().replace(" ", ""):
-            return gpu
-    raise ReproError(f"unknown GPU {name!r}; known: {[g.name for g in ALL_GPUS]}")
-
-
-def _algo_by_name(name: str):
-    for algo in paper_algorithms():
-        if algo.name == name:
-            return algo
-    raise ReproError(
-        f"unknown algorithm {name!r}; known: {[a.name for a in paper_algorithms()]}"
-    )
 
 
 def _add_exec_flags(parser: argparse.ArgumentParser) -> None:
@@ -137,37 +124,7 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _exec_workers_of(args: argparse.Namespace) -> int:
-    """Resolve the ``--exec-workers`` flag (0 = all cores)."""
-    n = getattr(args, "exec_workers", 1)
-    return rexec.default_exec_workers() if n == 0 else max(1, n)
-
-
-def _exec_partitioner_of(args: argparse.Namespace) -> str:
-    """Resolve the ``--exec-partitioner`` flag."""
-    return getattr(args, "exec_partitioner", rexec.DEFAULT_PARTITIONER)
-
-
-def _configure_runner(args: argparse.Namespace) -> ResultCache | None:
-    """Apply the execution flags as process-wide runner defaults."""
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    workers = default_workers() if args.workers == 0 else args.workers
-    exec_workers = _exec_workers_of(args)
-    exec_partitioner = _exec_partitioner_of(args)
-    if args.shard_timeout is not None:
-        runner.configure(
-            workers=workers, cache=cache, shard_timeout=args.shard_timeout,
-            exec_workers=exec_workers, exec_partitioner=exec_partitioner,
-        )
-    else:
-        runner.configure(
-            workers=workers, cache=cache, exec_workers=exec_workers,
-            exec_partitioner=exec_partitioner,
-        )
-    return cache
-
-
-def _cmd_datasets(args: argparse.Namespace) -> int:
+def _cmd_datasets(args: argparse.Namespace, runtime: Runtime) -> int:
     rows = [
         [s.name, s.collection, s.operation, s.generator, s.paper_dim, s.paper_nnz_a]
         for s in list_specs(args.collection)
@@ -178,72 +135,57 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    exec_workers = _exec_workers_of(args)
-    with rexec.engine_scope(
-        exec_workers if exec_workers > 1 else None,
-        partitioner=_exec_partitioner_of(args),
-    ) as engine:
-        ctx = get_context(args.dataset)
-        algo = _algo_by_name(args.algorithm)
-        sim = GPUSimulator(_gpu_by_name(args.gpu))
-        stats = algo.simulate(ctx, sim)
-        if args.json:
-            print(stats_to_json(stats))
-            return 0
-        report = profile_report(stats)
-        print(f"{report.algorithm} on {report.gpu} / {args.dataset}:")
-        print(f"  total {report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS")
-        for stage in report.stages:
-            print(
-                f"  {stage.stage:10s} {stage.seconds * 1e6:9.1f} us  LBI={stage.lbi:.2f}  "
-                f"stalls={stage.sync_stall_pct:.0f}%  L2 read={stage.l2_read_gbs:.0f} GB/s"
-            )
-        if args.iterations > 1:
-            _run_iterative(ctx, algo, args.iterations)
-        if engine is not None:
-            from repro.metrics.execprof import format_exec_stats
+def _cmd_run(args: argparse.Namespace, runtime: Runtime) -> int:
+    stats = runtime.simulate(args.dataset, args.algorithm)
+    if args.json:
+        print(stats_to_json(stats))
+        return 0
+    report = profile_report(stats)
+    print(f"{report.algorithm} on {report.gpu} / {args.dataset}:")
+    print(f"  total {report.total_seconds * 1e6:.1f} us, {report.gflops:.2f} GFLOPS")
+    for stage in report.stages:
+        print(
+            f"  {stage.stage:10s} {stage.seconds * 1e6:9.1f} us  LBI={stage.lbi:.2f}  "
+            f"stalls={stage.sync_stall_pct:.0f}%  L2 read={stage.l2_read_gbs:.0f} GB/s"
+        )
+    if args.iterations > 1:
+        _print_iterative(runtime.iterate(args.dataset, args.algorithm, args.iterations))
+    engine_stats = runtime.exec_stats()
+    if engine_stats is not None:
+        from repro.metrics.execprof import format_exec_stats
 
-            print(f"  {format_exec_stats(engine.stats)}")
+        print(f"  {format_exec_stats(engine_stats)}")
     return 0
 
 
-def _run_iterative(ctx, algo, iterations: int) -> None:
-    """Numeric-plane iteration demo: same structure N times through a session.
+def _print_iterative(report) -> None:
+    """Render the numeric-plane iteration demo (fixed structure, N passes).
 
     Iteration 1 pays the full pipeline (context, lowering, symbolic
     expansion); iterations 2..N are structure hits served by numeric replay.
     Printed timings make the amortisation visible; the cache counters prove
     the symbolic work ran exactly once.
     """
-    import time
-
     from repro.metrics.planprof import format_cache_stats
-    from repro.spgemm.session import IterativeSession
 
-    session = IterativeSession(algo)
-    a, b = ctx.a_csr, ctx.b_csr
-    seconds = []
-    for _ in range(iterations):
-        start = time.perf_counter()
-        session.multiply(a, b)
-        seconds.append(time.perf_counter() - start)
-    warm = seconds[1:]
-    print(f"iterative numeric plane ({iterations} iterations, fixed structure):")
-    print(f"  cold iteration   {seconds[0] * 1e3:9.2f} ms")
-    print(f"  warm iterations  {sum(warm) / len(warm) * 1e3:9.2f} ms mean "
-          f"(x{seconds[0] / max(sum(warm) / len(warm), 1e-12):.1f} faster)")
-    print(f"  {format_cache_stats(session.stats)}")
+    n = len(report.seconds)
+    warm_mean = report.warm_mean_seconds
+    print(f"iterative numeric plane ({n} iterations, fixed structure):")
+    print(f"  cold iteration   {report.cold_seconds * 1e3:9.2f} ms")
+    print(f"  warm iterations  {warm_mean * 1e3:9.2f} ms mean "
+          f"(x{report.cold_seconds / max(warm_mean, 1e-12):.1f} faster)")
+    print(f"  {format_cache_stats(report.stats)}")
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    _configure_runner(args)
-    gpu = _gpu_by_name(args.gpu)
-    results = run_matrix([args.dataset], paper_algorithms(), gpu)
+def _cmd_compare(args: argparse.Namespace, runtime: Runtime) -> int:
+    algorithms = list(runtime.algorithms().values())
+    gpu = runtime.config.gpu
+    with runtime.runner_scope():
+        results = runner.run_matrix([args.dataset], algorithms, gpu)
     base = results[(args.dataset, "row-product")].seconds
     rows = [
         [algo.name, res.seconds * 1e6, res.gflops, base / res.seconds]
-        for algo in paper_algorithms()
+        for algo in algorithms
         for res in [results[(args.dataset, algo.name)]]
     ]
     print(format_table(
@@ -253,13 +195,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    cache = _configure_runner(args)
-    gpu = _gpu_by_name(args.gpu)
+def _cmd_bench(args: argparse.Namespace, runtime: Runtime) -> int:
+    gpu = runtime.config.gpu
     datasets = args.datasets or list_names(args.collection)
     if not datasets:
         raise ReproError("no datasets selected; pass names or --collection")
-    results = run_matrix(datasets, paper_algorithms(), gpu)
+    with runtime.runner_scope():
+        results = runner.run_matrix(
+            datasets, list(runtime.algorithms().values()), gpu
+        )
     rows = [
         [name, algo, res.seconds * 1e6, res.gflops]
         for (name, algo), res in results.items()
@@ -268,6 +212,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         ["dataset", "algorithm", "time us", "GFLOPS"], rows,
         title=f"bench grid on {gpu.name} ({len(datasets)} datasets)",
     ))
+    cache = runtime.result_cache
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.cache_dir})")
     summary = runner.last_run_summary()
@@ -284,10 +229,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_plan_show(args: argparse.Namespace) -> int:
-    ctx = get_context(args.dataset)
-    algo = _algo_by_name(args.algorithm)
-    gpu = _gpu_by_name(args.gpu)
+def _cmd_plan_show(args: argparse.Namespace, runtime: Runtime) -> int:
+    ctx = runtime.context(args.dataset)
+    algo = runtime.algorithm(args.algorithm)
+    gpu = runtime.config.gpu
     plan = algo.lower(ctx, gpu)
     print(f"{args.dataset} lowered for {gpu.name}:")
     print(format_plan(plan))
@@ -299,14 +244,14 @@ def _cmd_plan_show(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
-    _configure_runner(args)
+def _cmd_experiment(args: argparse.Namespace, runtime: Runtime) -> int:
     module = importlib.import_module(f"repro.bench.experiments.{args.name}")
-    module.main()
+    with runtime.runner_scope():
+        module.main()
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace(args: argparse.Namespace, runtime: Runtime) -> int:
     """Trace one dataset/algorithm cell end to end and print the span tree.
 
     The recorder is installed *before* the context build so the trace covers
@@ -314,18 +259,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     warm in-process cache would hide those stages, so this command clears it
     first.
     """
+    from repro import obs
     from repro.datasets import loader
 
-    algo = _algo_by_name(args.algorithm)
-    gpu = _gpu_by_name(args.gpu)
+    gpu = runtime.config.gpu
     loader.clear_cache()
     runner.clear_context_cache()
-    recorder = obs.install()
-    try:
-        ctx = get_context(args.dataset)
-        stats = algo.simulate(ctx, GPUSimulator(gpu))
-    finally:
-        obs.uninstall()
+    with runtime.recording() as recorder:
+        stats = runtime.simulate(args.dataset, args.algorithm)
     print(f"trace: {args.algorithm} on {gpu.name} / {args.dataset} "
           f"({stats.total_seconds * 1e6:.1f} simulated us)")
     print(obs.format_span_tree(recorder.roots))
@@ -335,6 +276,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         obs.write_trace(args.out, recorder, meta=_trace_meta(args))
         print(f"wrote Chrome trace to {args.out} (open in Perfetto)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, runtime: Runtime) -> int:
+    from repro import serve
+
+    try:
+        admission = serve.AdmissionConfig(
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            batch_window=args.batch_window,
+            max_batch=args.max_batch,
+            request_timeout=args.request_timeout,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+    serve.run(
+        runtime, serve.ServeConfig(host=args.host, port=args.port, admission=admission)
+    )
     return 0
 
 
@@ -368,7 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true", help="dump raw counters as JSON")
     p.add_argument(
         "--iterations", type=int, default=1, metavar="N",
-        help="also run the numeric plane N times through an IterativeSession "
+        help="also run the numeric plane N times through a warm session "
              "and print plan-cache amortisation counters",
     )
     _add_exec_workers_flag(p)
@@ -417,44 +377,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recorded spans as a Chrome trace (Perfetto-loadable)",
     )
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "serve", help="serve multiply/app requests over HTTP from warm sessions"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=8077, metavar="N",
+        help="bind port (0 = pick a free one; the chosen port is printed; default 8077)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=4, metavar="N",
+        help="requests executing concurrently (executor width; default 4)",
+    )
+    p.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="admitted requests waiting beyond max-inflight before 503 (default 64)",
+    )
+    p.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="how long a request waits for structural twins to share a "
+             "micro-batch (default 0.002)",
+    )
+    p.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="micro-batch size cap per structure fingerprint (default 16)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-request wall-clock bound before 504 (default 60)",
+    )
+    p.add_argument(
+        "--plan-cache-entries", type=int, default=None, metavar="N",
+        help="LRU bound on each warm session's plan cache (default 64)",
+    )
+    p.add_argument(
+        "--sessions-per-tenant", type=int, default=None, metavar="N",
+        help="warm sessions pooled per tenant before LRU eviction (default 32)",
+    )
+    p.add_argument("--gpu", default=TITAN_XP.name)
+    _add_exec_workers_flag(p)
+    p.set_defaults(func=_cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Builds one :class:`~repro.runtime.Runtime` from the parsed flags,
+    registers it with the shutdown hooks (so SIGINT/SIGTERM cannot leak
+    warm pools), runs the command as a thin adapter over it, and tears it
+    down — every engine, session, backend scope and trace recorder lives
+    inside the runtime, not here.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    # Commands apply their execution flags as process-wide runner defaults;
-    # snapshot and restore them so in-process callers (tests, embedders) are
-    # not left with this invocation's cache/workers settings.
-    saved_workers, saved_cache = runner._DEFAULTS.workers, runner._DEFAULTS.cache
-    saved_timeout = runner._DEFAULTS.shard_timeout
-    saved_exec = runner._DEFAULTS.exec_workers
-    saved_part = runner._DEFAULTS.exec_partitioner
-    # --trace wraps the whole invocation in a recorder (the `trace` command
-    # owns its own recorder instead, so it can print the tree itself).
     trace_path = getattr(args, "trace", None)
-    recorder = obs.install() if trace_path else None
+    runtime = None
     try:
-        # --kernel-backend scopes the numeric-primitive backend around the
-        # whole command; selection verifies bit-identity, so an unavailable
-        # or diverging backend fails here, before any work runs.
-        with kernels.use(getattr(args, "kernel_backend", None)):
-            code = args.func(args)
-        if recorder is not None and code == 0:
-            obs.write_trace(trace_path, recorder, meta=_trace_meta(args))
+        runtime = Runtime(RuntimeConfig.from_args(args))
+        lifecycle.install(runtime)
+        with runtime.tracing(trace_path, meta=_trace_meta(args)):
+            code = args.func(args, runtime)
+        if trace_path and code == 0:
             print(f"wrote Chrome trace to {trace_path} (open in Perfetto)")
         return code
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     finally:
-        if recorder is not None:
-            obs.uninstall()
-        runner.configure(
-            workers=saved_workers, cache=saved_cache, shard_timeout=saved_timeout,
-            exec_workers=saved_exec, exec_partitioner=saved_part,
-        )
+        if runtime is not None:
+            lifecycle.uninstall(runtime)
 
 
 if __name__ == "__main__":

@@ -31,12 +31,15 @@ __all__ = [
 
 def format_cache_stats(stats: PlanCacheStats) -> str:
     """One-line human-readable rendering of plan-cache counters."""
-    return (
+    line = (
         f"plan cache: {stats.lookups} lookups, {stats.hits} hits "
         f"({stats.hit_rate:.0%}), {stats.lowers} lowerings, "
         f"{stats.symbolic_expansions} symbolic expansions, "
         f"{stats.numeric_replays} numeric replays"
     )
+    if stats.evictions:
+        line += f", {stats.evictions} evictions ({stats.evicted_bytes} B)"
+    return line
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,11 @@ that optimisation for our engine:
   entries are dropped) so only the expansion/sort structure is reused.
 * :class:`PlanCache` — memoizes lowered plans and recipes keyed by
   (algorithm fingerprint, GPU config, structure fingerprint) and counts
-  lookups/hits/lowers so tests and the CLI can assert amortisation.
+  lookups/hits/lowers so tests and the CLI can assert amortisation.  The
+  cache is **bounded**: ``max_entries`` and ``max_bytes`` put an LRU limit
+  on how many recipes a long-lived process (an :class:`IterativeSession`
+  held by ``repro.serve``, say) can accumulate from an evolving-structure
+  workload; evictions are counted in :class:`PlanCacheStats`.
 
 Recipes are verified at fill time: the cold result is replayed immediately
 and compared exactly; a mismatch (e.g. a scheme whose kernels do not report
@@ -34,6 +38,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -182,7 +187,10 @@ class PlanCacheStats:
     ``lookups = hits + misses``; ``lowers`` and ``symbolic_expansions`` count
     the expensive work actually performed, ``numeric_replays`` the work the
     cache reduced each hit to.  An N-iteration fixed-structure loop should
-    show ``lowers == 1`` and ``numeric_replays == N - 1``.
+    show ``lowers == 1`` and ``numeric_replays == N - 1``.  ``evictions`` /
+    ``evicted_bytes`` count entries dropped by the LRU bound — non-zero means
+    the workload's structure churn exceeds the configured budget and some
+    lookups that could have replayed will re-lower instead.
     """
 
     lookups: int = 0
@@ -191,6 +199,8 @@ class PlanCacheStats:
     lowers: int = 0
     symbolic_expansions: int = 0
     numeric_replays: int = 0
+    evictions: int = 0
+    evicted_bytes: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -206,8 +216,15 @@ class PlanCacheStats:
             "lowers": self.lowers,
             "symbolic_expansions": self.symbolic_expansions,
             "numeric_replays": self.numeric_replays,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hit_rate": self.hit_rate,
         }
+
+    def merge(self, other: "PlanCacheStats") -> None:
+        """Fold another counter set into this one (aggregation across caches)."""
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
 
 @dataclass
@@ -216,6 +233,22 @@ class PlanCacheEntry:
 
     plan: ExecutionPlan | None
     recipe: NumericRecipe | SemiringRecipe | None = None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate retained size: the recipe's index/structure arrays.
+
+        The plan itself is small (phase descriptors); the recipe's gather
+        arrays scale with the product stream and dominate, so the byte
+        budget counts ndarray fields only.
+        """
+        if self.recipe is None:
+            return 0
+        return sum(
+            f.nbytes
+            for f in vars(self.recipe).values()
+            if isinstance(f, np.ndarray)
+        )
 
 
 class PlanCache:
@@ -226,19 +259,74 @@ class PlanCache:
     non-fingerprintable schemes key by instance identity.  ``verify_fill``
     (default on) replays each freshly captured recipe against the cold result
     and requires exact equality before trusting it.
+
+    ``max_entries`` and ``max_bytes`` bound the cache with LRU eviction —
+    a lookup hit refreshes its entry's recency, an insert evicts the
+    least-recently-used entries until both budgets hold.  Unbounded caches
+    (both ``None``) match the historical behaviour but grow without limit
+    under an evolving-structure workload, which no long-lived process
+    (``repro serve``) should tolerate.
     """
 
-    def __init__(self, *, verify_fill: bool = True) -> None:
+    def __init__(
+        self,
+        *,
+        verify_fill: bool = True,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         self.verify_fill = verify_fill
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.stats = PlanCacheStats()
-        self._entries: dict[tuple, PlanCacheEntry] = {}
+        self._entries: OrderedDict[tuple, PlanCacheEntry] = OrderedDict()
+        self._entry_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes retained by cached recipes (see entry.nbytes)."""
+        return self._entry_bytes
+
     def clear(self) -> None:
-        """Drop all entries (counters are kept)."""
+        """Drop all entries (counters are kept; not counted as evictions)."""
         self._entries.clear()
+        self._entry_bytes = 0
+
+    def _get(self, key: tuple) -> PlanCacheEntry | None:
+        """Look an entry up, refreshing its LRU recency on a hit."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def _insert(self, key: tuple, entry: PlanCacheEntry) -> None:
+        """Insert (or replace) an entry, then evict LRU until within budget."""
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._entry_bytes -= old.nbytes
+        self._entries[key] = entry
+        self._entry_bytes += entry.nbytes
+        while self._over_budget():
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._entry_bytes -= evicted.nbytes
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += evicted.nbytes
+            if evicted_key == key:
+                break  # a single entry larger than the byte budget
+
+    def _over_budget(self) -> bool:
+        if not self._entries:
+            return False
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._entry_bytes > self.max_bytes
 
     # -- plan path ------------------------------------------------------
     def multiply(
@@ -275,7 +363,7 @@ class PlanCache:
             structure_fingerprint(a, b),
         )
         self.stats.lookups += 1
-        entry = self._entries.get(key)
+        entry = self._get(key)
         if entry is not None and entry.recipe is not None:
             self.stats.hits += 1
             self.stats.numeric_replays += 1
@@ -294,7 +382,7 @@ class PlanCache:
             state = NumericState(ctx, track_provenance=True)
             result, _ = plan.execute_instrumented(ctx, state)
             recipe = self._capture(state, result)
-            self._entries[key] = PlanCacheEntry(plan, recipe)
+            self._insert(key, PlanCacheEntry(plan, recipe))
         return result
 
     def _capture(self, state, result: CSRMatrix) -> NumericRecipe | None:
@@ -347,7 +435,7 @@ class PlanCache:
         b = a if b is None else b
         key = ("semiring", semiring.name, structure_fingerprint(a, b))
         self.stats.lookups += 1
-        entry = self._entries.get(key)
+        entry = self._get(key)
         if entry is not None and entry.recipe is not None:
             self.stats.hits += 1
             self.stats.numeric_replays += 1
@@ -366,7 +454,7 @@ class PlanCache:
                 and not _identical(recipe.replay(a.data, b.data, semiring), result)
             ):
                 recipe = None
-            self._entries[key] = PlanCacheEntry(None, recipe)
+            self._insert(key, PlanCacheEntry(None, recipe))
         return result
 
     def _capture_semiring(

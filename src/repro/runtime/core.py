@@ -1,0 +1,503 @@
+"""The :class:`Runtime` facade: one object that owns engine/session lifecycle.
+
+Everything a front-end needs to execute work — dataset contexts, algorithm
+instances, warm :class:`~repro.spgemm.session.IterativeSession` pools keyed
+by sparsity-structure fingerprint, the shared :class:`~repro.exec.ExecEngine`
+process pool, kernel-backend selection, bench-runner defaults and trace
+recording — is constructed, cached and (crucially) *shut down* here.  The
+CLI subcommands and the :mod:`repro.serve` front-end are thin adapters over
+this one class; neither constructs an engine, session or pool directly.
+
+Lifecycle::
+
+    with Runtime(RuntimeConfig(exec_workers=4)) as rt:
+        stats = rt.simulate("poisson3da", "block-reorganizer")
+        c, meta = rt.multiply("row-product", a, b, tenant="alice")
+    # pools closed, shared-memory segments unlinked, backend scope exited
+
+Sessions are pooled per ``(tenant, algorithm, structure fingerprint)`` with
+a per-tenant LRU bound (:attr:`RuntimeConfig.sessions_per_tenant`): one
+tenant's structure churn evicts its *own* oldest warm session — dropping
+that session's cached plans and recipes, which is exactly the per-tenant
+plan-cache quota — and can never evict another tenant's.  Each pooled
+session carries a lock so concurrent callers of the same structure
+serialise while distinct structures proceed in parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+
+from repro import exec as rexec
+from repro import kernels, obs
+from repro.bench import runner
+from repro.bench.cache import ResultCache
+from repro.errors import ReproError
+from repro.gpusim.config import GPUConfig
+from repro.gpusim.simulator import GPUSimulator
+from repro.gpusim.stats import KernelStats
+from repro.plan.cache import PlanCache, PlanCacheStats, structure_fingerprint
+from repro.runtime.config import RuntimeConfig
+from repro.sparse.csr import CSRMatrix
+from repro.spgemm.base import SpGEMMAlgorithm
+from repro.spgemm.session import IterativeSession
+
+__all__ = [
+    "IterationReport",
+    "MultiplyOutcome",
+    "PooledSession",
+    "Runtime",
+    "RuntimeStats",
+]
+
+
+@dataclass
+class PooledSession:
+    """One warm session plus the bookkeeping the pool needs around it."""
+
+    session: IterativeSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    requests: int = 0
+
+
+@dataclass(frozen=True)
+class MultiplyOutcome:
+    """A multiply result plus how the runtime served it."""
+
+    result: CSRMatrix
+    fingerprint: str
+    replayed: bool
+    tenant: str
+
+
+@dataclass
+class RuntimeStats:
+    """A point-in-time snapshot of one runtime's serving state."""
+
+    sessions: int
+    sessions_evicted: int
+    tenants: dict[str, int]
+    plan_cache: PlanCacheStats
+    requests: int
+
+    def as_dict(self) -> dict:
+        return {
+            "sessions": self.sessions,
+            "sessions_evicted": self.sessions_evicted,
+            "tenants": dict(self.tenants),
+            "plan_cache": self.plan_cache.as_dict(),
+            "requests": self.requests,
+        }
+
+
+@dataclass(frozen=True)
+class IterationReport:
+    """Wall-clock record of an N-iteration fixed-structure numeric loop."""
+
+    seconds: list[float]
+    stats: PlanCacheStats
+
+    @property
+    def cold_seconds(self) -> float:
+        return self.seconds[0]
+
+    @property
+    def warm_mean_seconds(self) -> float:
+        warm = self.seconds[1:]
+        return sum(warm) / len(warm) if warm else 0.0
+
+
+class Runtime:
+    """Owns every execution resource; front-ends stay declarative.
+
+    Thread-safety: session pooling and stats are guarded by an internal
+    lock, and each pooled session serialises its own multiplies, so one
+    runtime can serve concurrent request streams (``repro.serve`` does).
+    ``close()`` is idempotent and safe to call from signal handlers.
+    """
+
+    def __init__(self, config: RuntimeConfig | None = None) -> None:
+        self.config = config if config is not None else RuntimeConfig()
+        self._lock = threading.RLock()
+        self._sessions: OrderedDict[tuple[str, str, str], PooledSession] = OrderedDict()
+        self._retired_stats = PlanCacheStats()
+        self._sessions_evicted = 0
+        self._requests = 0
+        self._engine: rexec.ExecEngine | None = None
+        self._algos: dict[str, SpGEMMAlgorithm] | None = None
+        self._closed = False
+        self._scopes = ExitStack()
+        # Backend selection verifies bit-identity up front: an unavailable
+        # or diverging backend fails at runtime construction, before any
+        # request or subcommand runs.
+        self._scopes.enter_context(kernels.use(self.config.kernel_backend))
+        self._result_cache: ResultCache | None = (
+            ResultCache(self.config.cache_dir) if self.config.use_result_cache else None
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "Runtime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every owned resource: sessions, pools, shared memory.
+
+        Idempotent; also invoked by the shutdown hooks
+        (:mod:`repro.runtime.lifecycle`) on SIGINT/SIGTERM/exit so an
+        interrupted process cannot leak ``multiprocessing.shared_memory``
+        segments from a warm exec pool.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            sessions, self._sessions = self._sessions, OrderedDict()
+        for pooled in sessions.values():
+            pooled.session.close()
+            with self._lock:
+                self._retired_stats.merge(pooled.session.stats)
+        if self._engine is not None:
+            self._engine.close()
+            self._engine = None
+        self._scopes.close()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ReproError("runtime is closed")
+
+    # -- execution resources -------------------------------------------
+    def exec_engine(self) -> rexec.ExecEngine | None:
+        """The shared exec-plane pool (lazily created), or ``None`` (serial)."""
+        self._require_open()
+        width = self.config.resolved_exec_workers
+        if width <= 1:
+            return None
+        with self._lock:
+            if self._engine is None:
+                self._engine = rexec.ExecEngine(
+                    width, partitioner=self.config.exec_partitioner
+                )
+            return self._engine
+
+    @contextmanager
+    def exec_scope(self):
+        """Install the runtime's exec engine as ambient for a block."""
+        with rexec.engine_scope(self.exec_engine()) as engine:
+            yield engine
+
+    def exec_stats(self) -> rexec.ExecStats | None:
+        """Counters of the shared exec pool, or ``None`` when serial."""
+        return self._engine.stats if self._engine is not None else None
+
+    @contextmanager
+    def runner_scope(self):
+        """Apply this runtime's bench-runner defaults, restoring on exit.
+
+        The experiment modules call :func:`repro.bench.runner.run_matrix`
+        with no arguments and rely on process-wide defaults; this scope is
+        how a runtime's configuration reaches them without leaking into
+        later in-process callers (tests, embedders).
+        """
+        self._require_open()
+        d = runner._DEFAULTS
+        saved = (d.workers, d.cache, d.shard_timeout, d.exec_workers, d.exec_partitioner)
+        kwargs = dict(
+            workers=self.config.resolved_workers,
+            cache=self._result_cache,
+            exec_workers=self.config.resolved_exec_workers,
+            exec_partitioner=self.config.exec_partitioner,
+        )
+        if self.config.shard_timeout is not None:
+            kwargs["shard_timeout"] = self.config.shard_timeout
+        runner.configure(**kwargs)
+        try:
+            yield self
+        finally:
+            runner.configure(
+                workers=saved[0], cache=saved[1], shard_timeout=saved[2],
+                exec_workers=saved[3], exec_partitioner=saved[4],
+            )
+
+    @property
+    def result_cache(self) -> ResultCache | None:
+        """The persistent bench result cache, or ``None`` when disabled."""
+        return self._result_cache
+
+    # -- datasets and algorithms ---------------------------------------
+    def context(self, dataset: str):
+        """Load a dataset's (cached) multiply context."""
+        self._require_open()
+        return runner.get_context(dataset)
+
+    def algorithms(self) -> dict[str, SpGEMMAlgorithm]:
+        """The seven paper schemes, resolved once and shared.
+
+        One instance per name per runtime, so non-fingerprintable schemes
+        keep a stable cache identity across requests.
+        """
+        with self._lock:
+            if self._algos is None:
+                self._algos = {a.name: a for a in runner.paper_algorithms()}
+            return self._algos
+
+    def algorithm(self, name: str) -> SpGEMMAlgorithm:
+        """Resolve a scheme by CLI/request name."""
+        algos = self.algorithms()
+        if name not in algos:
+            raise ReproError(
+                f"unknown algorithm {name!r}; known: {sorted(algos)}"
+            )
+        return algos[name]
+
+    # -- performance plane ---------------------------------------------
+    def simulate(
+        self, dataset: str, algorithm: str, gpu: GPUConfig | None = None
+    ) -> KernelStats:
+        """Simulate one (dataset, algorithm) cell on the configured GPU."""
+        self._require_open()
+        algo = self.algorithm(algorithm)
+        with self.exec_scope():
+            ctx = self.context(dataset)
+            return algo.simulate(ctx, GPUSimulator(gpu or self.config.gpu))
+
+    # -- numeric plane: warm sessions ----------------------------------
+    def session(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        *,
+        structure: str,
+        tenant: str = "default",
+    ) -> PooledSession:
+        """A warm session for (tenant, algorithm, structure fingerprint).
+
+        Creating, reusing and evicting sessions all happens here: a cache
+        hit refreshes LRU recency; a miss builds a fresh session whose
+        :class:`PlanCache` is bounded by
+        :attr:`RuntimeConfig.plan_cache_entries`; and when the owning
+        tenant exceeds :attr:`RuntimeConfig.sessions_per_tenant`, that
+        tenant's least-recently-used session is closed and its counters
+        folded into the retired totals.  Callers must hold the returned
+        :attr:`PooledSession.lock` while multiplying on it.
+        """
+        self._require_open()
+        algo = (
+            self.algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        )
+        key = (tenant, algo.name, structure)
+        with self._lock:
+            pooled = self._sessions.get(key)
+            if pooled is not None:
+                self._sessions.move_to_end(key)
+                return pooled
+            pooled = PooledSession(
+                session=IterativeSession(
+                    algo,
+                    cache=PlanCache(max_entries=self.config.plan_cache_entries),
+                    config=self.config.gpu,
+                )
+            )
+            self._sessions[key] = pooled
+            evicted = self._evict_tenant_overflow(tenant)
+        for old in evicted:
+            with old.lock:  # let an in-flight multiply finish first
+                old.session.close()
+            with self._lock:
+                self._retired_stats.merge(old.session.stats)
+        return pooled
+
+    def _evict_tenant_overflow(self, tenant: str) -> list[PooledSession]:
+        """Pop this tenant's LRU sessions beyond the quota (lock held)."""
+        held = [k for k in self._sessions if k[0] == tenant]
+        evicted = []
+        for key in held[: max(0, len(held) - self.config.sessions_per_tenant)]:
+            evicted.append(self._sessions.pop(key))
+            self._sessions_evicted += 1
+        return evicted
+
+    def multiply(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        a: CSRMatrix,
+        b: CSRMatrix | None = None,
+        *,
+        tenant: str = "default",
+    ) -> MultiplyOutcome:
+        """``a @ b`` on a warm session pooled by structure fingerprint.
+
+        The outcome records whether the request was served by numeric
+        replay (a prior request with this structure paid the symbolic
+        work) — the amortisation signal ``repro.serve`` reports per batch.
+        """
+        fp = structure_fingerprint(a, a if b is None else b)
+        pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock:
+            hits_before = pooled.session.stats.hits
+            with self.exec_scope():
+                result = pooled.session.multiply(a, b)
+            pooled.requests += 1
+        with self._lock:
+            self._requests += 1
+        return MultiplyOutcome(
+            result=result,
+            fingerprint=fp,
+            replayed=pooled.session.stats.hits > hits_before,
+            tenant=tenant,
+        )
+
+    # -- graph apps on warm sessions -----------------------------------
+    def pagerank(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        adjacency: CSRMatrix,
+        *,
+        damping: float = 0.85,
+        tol: float = 1e-10,
+        max_iter: int = 200,
+        tenant: str = "default",
+    ):
+        """PageRank as fixed-structure spGEMM on a pooled warm session.
+
+        All requests sharing one adjacency structure land on the same
+        session, so only the first pays the symbolic pass; later callers
+        (and iterations 2..N within a call) replay numerically.
+        """
+        from repro.apps.pagerank import pagerank_spgemm
+
+        fp = "pagerank:" + structure_fingerprint(adjacency, adjacency)
+        pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, self.exec_scope():
+            result = pagerank_spgemm(
+                adjacency,
+                pooled.session,
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+            )
+            pooled.requests += 1
+        with self._lock:
+            self._requests += 1
+        return result
+
+    def reachability(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        adjacency: CSRMatrix,
+        k: int,
+        *,
+        tenant: str = "default",
+    ) -> CSRMatrix:
+        """Boolean k-hop reachability on a pooled warm session."""
+        from repro.apps.reachability import k_hop_reachability
+
+        fp = f"reach:{k}:" + structure_fingerprint(adjacency, adjacency)
+        pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, self.exec_scope():
+            result = k_hop_reachability(adjacency, k, pooled.session)
+            pooled.requests += 1
+        with self._lock:
+            self._requests += 1
+        return result
+
+    def similarity(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        adjacency: CSRMatrix,
+        metric: str = "common",
+        *,
+        tenant: str = "default",
+    ) -> CSRMatrix:
+        """Node-similarity matrix (``common``/``cosine``/``jaccard``)."""
+        from repro.apps import similarity as sim
+
+        metrics = {
+            "common": sim.common_neighbors,
+            "cosine": sim.cosine_similarity,
+            "jaccard": sim.jaccard_similarity,
+        }
+        if metric not in metrics:
+            raise ReproError(
+                f"unknown similarity metric {metric!r}; known: {sorted(metrics)}"
+            )
+        fp = f"sim:{metric}:" + structure_fingerprint(adjacency, adjacency)
+        pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, self.exec_scope():
+            result = metrics[metric](adjacency, pooled.session)
+            pooled.requests += 1
+        with self._lock:
+            self._requests += 1
+        return result
+
+    def iterate(self, dataset: str, algorithm: str, iterations: int) -> IterationReport:
+        """Run the numeric plane N times on one fixed structure (CLI demo)."""
+        self._require_open()
+        ctx = self.context(dataset)
+        a, b = ctx.a_csr, ctx.b_csr
+        fp = structure_fingerprint(a, b)
+        pooled = self.session(algorithm, structure=fp, tenant="default")
+        seconds = []
+        with pooled.lock, self.exec_scope():
+            for _ in range(iterations):
+                start = time.perf_counter()
+                pooled.session.multiply(a, b)
+                seconds.append(time.perf_counter() - start)
+        return IterationReport(seconds=seconds, stats=pooled.session.stats)
+
+    # -- observability --------------------------------------------------
+    @contextmanager
+    def tracing(self, path: str | None, *, meta: dict | None = None):
+        """Record the block with :mod:`repro.obs`; write a Chrome trace.
+
+        ``path=None`` is a no-op scope so callers need no conditionals.
+        The trace is written only when the block exits cleanly.
+        """
+        if not path:
+            yield None
+            return
+        recorder = obs.install()
+        try:
+            yield recorder
+            obs.write_trace(path, recorder, meta=meta or {})
+        finally:
+            obs.uninstall()
+
+    @contextmanager
+    def recording(self):
+        """Install a trace recorder for the block and yield it (trace cmd)."""
+        recorder = obs.install()
+        try:
+            yield recorder
+        finally:
+            obs.uninstall()
+
+    # -- stats ----------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """Aggregate serving counters across live and retired sessions."""
+        with self._lock:
+            merged = PlanCacheStats()
+            merged.merge(self._retired_stats)
+            tenants: dict[str, int] = {}
+            for (tenant, _, _), pooled in self._sessions.items():
+                merged.merge(pooled.session.stats)
+                tenants[tenant] = tenants.get(tenant, 0) + 1
+            return RuntimeStats(
+                sessions=len(self._sessions),
+                sessions_evicted=self._sessions_evicted,
+                tenants=tenants,
+                plan_cache=merged,
+                requests=self._requests,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self._closed else f"{len(self._sessions)} sessions"
+        return f"<Runtime {state} exec_workers={self.config.resolved_exec_workers}>"

@@ -1,0 +1,182 @@
+"""Micro-batching and admission control for the serve front-end.
+
+Requests are keyed by ``(tenant, route, algorithm, structure fingerprint)``.
+Requests sharing a key within one batch window are dispatched as a single
+executor task that runs them back-to-back on the same warm session: the
+first pays any symbolic lowering, the rest replay numerically — one
+symbolic pass amortised across callers, which is the entire point of
+serving this workload from a long-lived process.
+
+Admission control is two bounds and a timer: at most ``max_inflight``
+requests execute concurrently (the executor's width), at most ``max_queue``
+more may wait behind them (beyond that, :class:`Overloaded` → HTTP 503),
+and each caller waits at most ``request_timeout`` seconds for its result
+(HTTP 504; the batch keeps running — results land in the warm cache).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionConfig", "BatchStats", "MicroBatcher", "Overloaded"]
+
+
+class Overloaded(Exception):
+    """The server is at max in-flight + queue depth (HTTP 503)."""
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Concurrency, queueing and batching bounds for one server."""
+
+    max_inflight: int = 4
+    max_queue: int = 64
+    batch_window: float = 0.002
+    max_batch: int = 16
+    request_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.batch_window < 0:
+            raise ValueError(f"batch_window must be >= 0, got {self.batch_window}")
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.request_timeout <= 0:
+            raise ValueError(
+                f"request_timeout must be > 0, got {self.request_timeout}"
+            )
+
+
+@dataclass
+class BatchStats:
+    """Counters the ``/stats`` route exposes for the batching layer."""
+
+    admitted: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    largest_batch: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "largest_batch": self.largest_batch,
+        }
+
+
+@dataclass
+class _Batch:
+    items: list = field(default_factory=list)
+    timer: object = None
+    dispatched: bool = False
+
+
+class MicroBatcher:
+    """Groups same-key requests into executor tasks; enforces admission.
+
+    Must be used from a single event loop; the work callables run on the
+    owned :class:`ThreadPoolExecutor` (width = ``max_inflight``) and their
+    results are posted back to the loop thread-safely.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.stats = BatchStats()
+        self._open: dict[tuple, _Batch] = {}
+        self._inflight = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.max_inflight, thread_name_prefix="repro-serve"
+        )
+
+    async def submit(self, key: tuple, work) -> object:
+        """Admit ``work`` under ``key``, await (with timeout) its result.
+
+        Raises :class:`Overloaded` when full and :class:`TimeoutError`
+        after ``request_timeout`` seconds.
+        """
+        loop = asyncio.get_running_loop()
+        if self._inflight >= self.config.max_inflight + self.config.max_queue:
+            self.stats.rejected += 1
+            raise Overloaded(
+                f"at capacity ({self._inflight} in flight, "
+                f"max {self.config.max_inflight} + queue {self.config.max_queue})"
+            )
+        self._inflight += 1
+        self.stats.admitted += 1
+        future: asyncio.Future = loop.create_future()
+        future.add_done_callback(self._release)
+        self._enqueue(loop, key, work, future)
+        try:
+            return await asyncio.wait_for(future, self.config.request_timeout)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise TimeoutError(
+                f"request exceeded {self.config.request_timeout}s"
+            ) from None
+
+    def _release(self, future) -> None:
+        self._inflight -= 1
+
+    def _enqueue(self, loop, key: tuple, work, future) -> None:
+        batch = self._open.get(key)
+        if batch is None or batch.dispatched:
+            batch = _Batch()
+            self._open[key] = batch
+            batch.timer = loop.call_later(
+                self.config.batch_window, self._dispatch, loop, key, batch
+            )
+        batch.items.append((work, future))
+        if len(batch.items) >= self.config.max_batch:
+            self._dispatch(loop, key, batch)
+
+    def _dispatch(self, loop, key: tuple, batch: _Batch) -> None:
+        if batch.dispatched:
+            return
+        batch.dispatched = True
+        if batch.timer is not None:
+            batch.timer.cancel()
+        if self._open.get(key) is batch:
+            del self._open[key]
+        self.stats.batches += 1
+        self.stats.batched_requests += len(batch.items)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch.items))
+        self._executor.submit(self._run_batch, loop, list(batch.items))
+
+    @staticmethod
+    def _run_batch(loop, items) -> None:
+        """Executor side: run a batch back-to-back, post results to the loop."""
+        for work, future in items:
+            try:
+                result = work()
+            except BaseException as exc:  # delivered to the awaiting handler
+                loop.call_soon_threadsafe(_resolve, future, None, exc)
+            else:
+                loop.call_soon_threadsafe(_resolve, future, result, None)
+
+    def close(self) -> None:
+        """Stop accepting work and drain the executor."""
+        for batch in self._open.values():
+            if batch.timer is not None:
+                batch.timer.cancel()
+        self._open.clear()
+        self._executor.shutdown(wait=True)
+
+
+def _resolve(future, result, exc) -> None:
+    """Complete a future unless its awaiter already timed out."""
+    if future.done():
+        return
+    if exc is not None:
+        future.set_exception(exc)
+    else:
+        future.set_result(result)

@@ -1,0 +1,378 @@
+"""``repro serve`` — multiply-as-a-service over a warm :class:`Runtime`.
+
+A deliberately small asyncio HTTP/1.1 server (stdlib only: no frameworks)
+exposing the numeric plane to concurrent callers:
+
+===========================  ========================================================
+route                        body
+===========================  ========================================================
+``GET /healthz``             — liveness probe
+``GET /stats``               — runtime + batching counters, amortisation factor
+``POST /v1/multiply``        ``{"algorithm", "a", "b"?}``
+``POST /v1/pagerank``        ``{"algorithm", "adjacency", "damping"?, "tol"?, "max_iter"?}``
+``POST /v1/reachability``    ``{"algorithm", "adjacency", "k"}``
+``POST /v1/similarity``      ``{"algorithm", "adjacency", "metric"?}``
+===========================  ========================================================
+
+Matrices use the wire format of :mod:`repro.serve.protocol`; the optional
+``X-Tenant`` header scopes requests to a tenant's session pool (and hence
+its plan-cache quota).  Request lifecycle: accept → fingerprint the operand
+structure → micro-batch same-structure requests (:mod:`repro.serve.batching`)
+→ execute on the warm pooled session → numeric replay for every request
+after the structure's first.  Responses are bit-identical to the batch CLI
+path because both route through the same :class:`~repro.runtime.Runtime`.
+
+Errors: 400 malformed/unknown inputs, 404/405 bad route, 503 over
+admission capacity, 504 per-request timeout, 500 anything else — always
+``{"error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.plan.cache import structure_fingerprint
+from repro.runtime import Runtime, lifecycle
+from repro.serve.batching import AdmissionConfig, MicroBatcher, Overloaded
+from repro.serve.protocol import (
+    BadRequest,
+    csr_from_wire,
+    csr_to_wire,
+    json_body,
+    require,
+    scalar,
+)
+
+__all__ = ["ServeConfig", "Server", "ServerThread", "run"]
+
+#: readuntil() bound for the header block; bodies are read by length.
+_MAX_HEADER_BYTES = 1 << 20
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Where to listen plus the admission/batching bounds."""
+
+    host: str = "127.0.0.1"
+    port: int = 8077
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+
+
+class Server:
+    """One listening socket over one runtime.  Single event loop; the
+    numeric work runs on the batcher's thread pool."""
+
+    def __init__(self, runtime: Runtime, config: ServeConfig | None = None) -> None:
+        self.runtime = runtime
+        self.config = config if config is not None else ServeConfig()
+        self.batcher = MicroBatcher(self.config.admission)
+        self._server: asyncio.AbstractServer | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def stop(self) -> None:
+        """Stop accepting, drain the executor, close the runtime."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await asyncio.get_running_loop().run_in_executor(None, self.batcher.close)
+        lifecycle.uninstall(self.runtime)
+
+    # -- connection handling -------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    ConnectionResetError,
+                ):
+                    break
+                try:
+                    method, path, headers = _parse_head(head)
+                    length = int(headers.get("content-length", "0") or "0")
+                    body = await reader.readexactly(length) if length > 0 else b""
+                except (ValueError, asyncio.IncompleteReadError):
+                    await _respond(writer, 400, {"error": "malformed HTTP request"})
+                    break
+                status, payload = await self._route(method, path, headers, body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await _respond(writer, status, payload, keep_alive=keep_alive)
+                if not keep_alive:
+                    break
+        except ConnectionResetError:  # pragma: no cover - client vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _route(self, method: str, path: str, headers: dict, body: bytes):
+        if path == "/healthz":
+            return 200, {"ok": True}
+        if path == "/stats":
+            return 200, self._stats_payload()
+        handlers = {
+            "/v1/multiply": self._multiply,
+            "/v1/pagerank": self._pagerank,
+            "/v1/reachability": self._reachability,
+            "/v1/similarity": self._similarity,
+        }
+        handler = handlers.get(path)
+        if handler is None:
+            return 404, {"error": f"no such route: {path}"}
+        if method != "POST":
+            return 405, {"error": f"{path} requires POST"}
+        tenant = headers.get("x-tenant", "default") or "default"
+        try:
+            return 200, await handler(json_body(body), tenant)
+        except (BadRequest, ReproError) as exc:
+            return 400, {"error": str(exc)}
+        except Overloaded as exc:
+            return 503, {"error": str(exc)}
+        except TimeoutError as exc:
+            return 504, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            return 500, {"error": f"internal error: {exc}"}
+
+    # -- request handlers ----------------------------------------------
+    async def _multiply(self, body: dict, tenant: str) -> dict:
+        algorithm = str(require(body, "algorithm"))
+        a = csr_from_wire(require(body, "a"), "a")
+        b = csr_from_wire(body["b"], "b") if body.get("b") is not None else None
+        fingerprint = structure_fingerprint(a, a if b is None else b)
+        key = (tenant, "multiply", algorithm, fingerprint)
+        outcome = await self.batcher.submit(
+            key, lambda: self.runtime.multiply(algorithm, a, b, tenant=tenant)
+        )
+        return {
+            "result": csr_to_wire(outcome.result),
+            "fingerprint": outcome.fingerprint,
+            "replayed": outcome.replayed,
+        }
+
+    async def _pagerank(self, body: dict, tenant: str) -> dict:
+        algorithm = str(require(body, "algorithm"))
+        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+        damping = scalar(body, "damping", float, 0.85)
+        tol = scalar(body, "tol", float, 1e-10)
+        max_iter = scalar(body, "max_iter", int, 200)
+        key = (
+            tenant,
+            "pagerank",
+            algorithm,
+            structure_fingerprint(adjacency, adjacency),
+        )
+        result = await self.batcher.submit(
+            key,
+            lambda: self.runtime.pagerank(
+                algorithm,
+                adjacency,
+                damping=damping,
+                tol=tol,
+                max_iter=max_iter,
+                tenant=tenant,
+            ),
+        )
+        return {
+            "scores": result.scores.tolist(),
+            "iterations": result.iterations,
+            "residual": result.residual,
+            "converged": result.converged,
+        }
+
+    async def _reachability(self, body: dict, tenant: str) -> dict:
+        algorithm = str(require(body, "algorithm"))
+        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+        k = scalar(body, "k", int, 2)
+        key = (
+            tenant,
+            f"reach:{k}",
+            algorithm,
+            structure_fingerprint(adjacency, adjacency),
+        )
+        result = await self.batcher.submit(
+            key,
+            lambda: self.runtime.reachability(algorithm, adjacency, k, tenant=tenant),
+        )
+        return {"result": csr_to_wire(result), "k": k}
+
+    async def _similarity(self, body: dict, tenant: str) -> dict:
+        algorithm = str(require(body, "algorithm"))
+        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+        metric = str(body.get("metric", "common"))
+        key = (
+            tenant,
+            f"sim:{metric}",
+            algorithm,
+            structure_fingerprint(adjacency, adjacency),
+        )
+        result = await self.batcher.submit(
+            key,
+            lambda: self.runtime.similarity(
+                algorithm, adjacency, metric, tenant=tenant
+            ),
+        )
+        return {"result": csr_to_wire(result), "metric": metric}
+
+    # -- stats ----------------------------------------------------------
+    def _stats_payload(self) -> dict:
+        runtime_stats = self.runtime.stats()
+        lowers = runtime_stats.plan_cache.lowers
+        return {
+            "runtime": runtime_stats.as_dict(),
+            "batching": self.batcher.stats.as_dict(),
+            # The serving thesis in one number: requests answered per
+            # symbolic lowering paid (> 1 means amortisation is working).
+            "requests_per_lowering": (
+                runtime_stats.requests / lowers if lowers else None
+            ),
+        }
+
+
+# -- HTTP plumbing ------------------------------------------------------
+def _parse_head(head: bytes) -> tuple[str, str, dict]:
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ValueError(f"bad request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ValueError(f"bad header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers
+
+
+async def _respond(writer, status: int, payload: dict, *, keep_alive: bool = False):
+    reasons = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        500: "Internal Server Error",
+        503: "Service Unavailable",
+        504: "Gateway Timeout",
+    }
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# -- entry points -------------------------------------------------------
+async def _serve_until_signalled(runtime: Runtime, config: ServeConfig) -> None:
+    server = Server(runtime, config)
+    host, port = await server.start()
+    # Parseable by tools/bench_serve.py even when port 0 picked a free one.
+    print(f"serving on http://{host}:{port}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(sig, stop.set)
+    try:
+        await stop.wait()
+    finally:
+        await server.stop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.remove_signal_handler(sig)
+
+
+def run(runtime: Runtime, config: ServeConfig | None = None) -> None:
+    """Blocking server loop with graceful SIGINT/SIGTERM shutdown.
+
+    The runtime is registered with :mod:`repro.runtime.lifecycle` (for
+    atexit coverage) and closed — pools drained, shared memory unlinked —
+    before this returns.
+    """
+    lifecycle.install(runtime)
+    asyncio.run(_serve_until_signalled(runtime, config or ServeConfig()))
+
+
+class ServerThread:
+    """Run a :class:`Server` on a background thread (tests, benches).
+
+    Usage::
+
+        st = ServerThread(runtime, config)
+        host, port = st.start()
+        ...
+        st.stop()          # also closes the runtime
+    """
+
+    def __init__(self, runtime: Runtime, config: ServeConfig | None = None) -> None:
+        self.runtime = runtime
+        self.config = config if config is not None else ServeConfig(port=0)
+        self._address: tuple[str, int] | None = None
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve-thread", daemon=True
+        )
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._async_main())
+        except BaseException as exc:  # surfaced by start()/stop()
+            self._error = exc
+            self._started.set()
+
+    async def _async_main(self) -> None:
+        server = Server(self.runtime, self.config)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._address = await server.start()
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            await server.stop()
+
+    def start(self, timeout: float = 10.0) -> tuple[str, int]:
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise TimeoutError("server thread did not start")
+        if self._error is not None:
+            raise self._error
+        assert self._address is not None
+        return self._address
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._error is not None:
+            raise self._error

@@ -297,3 +297,96 @@ class TestBenchGridUnaffected:
                 _assert_bit_identical(cold, warm)
         assert cache.stats.hits == len(datasets) * len(paper_algorithms())
         assert canonical() == baseline
+
+
+class TestBoundedCache:
+    """LRU bounding: a long-lived cache must not grow without limit."""
+
+    def _fill(self, cache, rng, n, shape=(10, 10)):
+        """Run n distinct-structure multiplies through the cache."""
+        algo = RowProductSpGEMM()
+        matrices = []
+        for _ in range(n):
+            m = random_csr(rng, *shape, 0.3)
+            cache.multiply(algo, m, m)
+            matrices.append(m)
+        return algo, matrices
+
+    def test_unbounded_by_default(self, rng):
+        cache = PlanCache()
+        self._fill(cache, rng, 5)
+        assert len(cache) == 5
+        assert cache.stats.evictions == 0
+
+    def test_max_entries_evicts_lru(self, rng):
+        cache = PlanCache(max_entries=3)
+        algo, matrices = self._fill(cache, rng, 5)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 2
+        # The two oldest structures were evicted: multiplying them again
+        # re-lowers (miss); the three newest replay (hit).
+        lowers = cache.stats.lowers
+        for m in matrices[:2]:
+            cache.multiply(algo, m, m)
+        assert cache.stats.lowers == lowers + 2
+        hits = cache.stats.hits
+        for m in matrices[-1:]:
+            cache.multiply(algo, m, m)
+        assert cache.stats.hits == hits + 1
+
+    def test_hit_refreshes_recency(self, rng):
+        cache = PlanCache(max_entries=2)
+        algo, matrices = self._fill(cache, rng, 2)
+        cache.multiply(algo, matrices[0], matrices[0])  # refresh oldest
+        m3 = random_csr(rng, 10, 10, 0.3)
+        cache.multiply(algo, m3, m3)  # evicts matrices[1], not matrices[0]
+        hits = cache.stats.hits
+        cache.multiply(algo, matrices[0], matrices[0])
+        assert cache.stats.hits == hits + 1
+        lowers = cache.stats.lowers
+        cache.multiply(algo, matrices[1], matrices[1])
+        assert cache.stats.lowers == lowers + 1
+
+    def test_byte_budget_evicts_and_counts(self, rng):
+        cache = PlanCache(max_bytes=1)  # every entry overflows the budget
+        self._fill(cache, rng, 3)
+        assert len(cache) <= 1
+        assert cache.stats.evictions >= 2
+        assert cache.stats.evicted_bytes > 0
+        assert cache.nbytes <= max(e.nbytes for e in cache._entries.values()) if len(cache) else True
+
+    def test_results_identical_under_eviction(self, rng):
+        bounded = PlanCache(max_entries=1)
+        unbounded = PlanCache()
+        algo = RowProductSpGEMM()
+        matrices = [random_csr(rng, 12, 12, 0.3) for _ in range(3)]
+        for _ in range(2):  # second round: bounded cache re-lowers every time
+            for m in matrices:
+                _assert_bit_identical(
+                    bounded.multiply(algo, m, m), unbounded.multiply(algo, m, m)
+                )
+        assert bounded.stats.evictions > 0
+
+    def test_semiring_entries_bounded_too(self, rng):
+        cache = PlanCache(max_entries=2)
+        for _ in range(4):
+            m = random_csr(rng, 8, 8, 0.4)
+            cache.semiring_multiply(m, m, OR_AND)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+        with pytest.raises(ValueError):
+            PlanCache(max_bytes=-1)
+
+    def test_eviction_counters_in_dict_and_rendering(self, rng):
+        from repro.metrics.planprof import format_cache_stats
+
+        cache = PlanCache(max_entries=1)
+        self._fill(cache, rng, 2)
+        d = cache.stats.as_dict()
+        assert d["evictions"] == 1
+        assert d["evicted_bytes"] > 0
+        assert "evictions" in format_cache_stats(cache.stats)

@@ -1,0 +1,394 @@
+"""Tests for repro.serve: protocol codecs, micro-batching, the HTTP server.
+
+The server tests run a real :class:`ServerThread` over a real
+:class:`Runtime` and talk HTTP through urllib — the same path a client
+takes — asserting the serving invariants: responses bit-identical to the
+batch path, same-structure concurrency amortised into few symbolic
+lowerings, admission control and error mapping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.runtime import Runtime, RuntimeConfig
+from repro.serve import (
+    AdmissionConfig,
+    BadRequest,
+    MicroBatcher,
+    Overloaded,
+    ServeConfig,
+    ServerThread,
+    csr_from_wire,
+    csr_to_wire,
+)
+from repro.spgemm.base import MultiplyContext
+from repro.spgemm.rowproduct import RowProductSpGEMM
+
+from .conftest import random_csr
+
+
+def identical(x, y):
+    return (
+        x.shape == y.shape
+        and x.indptr.tobytes() == y.indptr.tobytes()
+        and x.indices.tobytes() == y.indices.tobytes()
+        and x.data.tobytes() == y.data.tobytes()
+    )
+
+
+class TestProtocol:
+    def test_wire_roundtrip_is_bit_identical(self, rng):
+        m = random_csr(rng, 17, 23, 0.2)
+        # Through actual JSON text, as on the wire.
+        wire = json.loads(json.dumps(csr_to_wire(m)))
+        back = csr_from_wire(wire)
+        assert identical(m, back)
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(BadRequest, match="missing"):
+            csr_from_wire({"shape": [1, 1], "indptr": [0, 0], "indices": []})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(BadRequest, match="must be a JSON object"):
+            csr_from_wire([1, 2, 3])
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(BadRequest, match="shape"):
+            csr_from_wire(
+                {"shape": [1], "indptr": [0, 0], "indices": [], "data": []}
+            )
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(BadRequest, match="not a valid CSR"):
+            csr_from_wire(
+                {"shape": [2, 2], "indptr": [0, 5, 1], "indices": [0], "data": [1.0]}
+            )
+
+    def test_non_numeric_arrays_rejected(self):
+        with pytest.raises(BadRequest):
+            csr_from_wire(
+                {"shape": [1, 1], "indptr": [0, 1], "indices": ["x"], "data": [1.0]}
+            )
+
+
+class TestMicroBatcher:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_same_key_requests_share_a_batch(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(max_inflight=1, batch_window=0.05, max_batch=8)
+        )
+
+        async def scenario():
+            jobs = [
+                asyncio.create_task(batcher.submit(("k",), lambda i=i: i * 10))
+                for i in range(4)
+            ]
+            return await asyncio.gather(*jobs)
+
+        try:
+            assert self._run(scenario()) == [0, 10, 20, 30]
+            assert batcher.stats.batches == 1
+            assert batcher.stats.batched_requests == 4
+            assert batcher.stats.largest_batch == 4
+        finally:
+            batcher.close()
+
+    def test_distinct_keys_do_not_batch(self):
+        batcher = MicroBatcher(AdmissionConfig(max_inflight=2, batch_window=0.02))
+
+        async def scenario():
+            jobs = [
+                asyncio.create_task(batcher.submit((f"k{i}",), lambda i=i: i))
+                for i in range(3)
+            ]
+            return await asyncio.gather(*jobs)
+
+        try:
+            assert self._run(scenario()) == [0, 1, 2]
+            assert batcher.stats.batches == 3
+        finally:
+            batcher.close()
+
+    def test_max_batch_dispatches_immediately(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(max_inflight=1, batch_window=5.0, max_batch=2)
+        )
+
+        async def scenario():
+            # window is 5s: only the size cap can dispatch these in time.
+            jobs = [
+                asyncio.create_task(batcher.submit(("k",), lambda i=i: i))
+                for i in range(2)
+            ]
+            return await asyncio.wait_for(asyncio.gather(*jobs), timeout=2.0)
+
+        try:
+            assert self._run(scenario()) == [0, 1]
+        finally:
+            batcher.close()
+
+    def test_overload_rejected(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(max_inflight=1, max_queue=0, batch_window=0.0)
+        )
+        release = threading.Event()
+
+        async def scenario():
+            first = asyncio.create_task(
+                batcher.submit(("a",), lambda: release.wait(5))
+            )
+            await asyncio.sleep(0.1)  # first is admitted and running
+            with pytest.raises(Overloaded):
+                await batcher.submit(("b",), lambda: None)
+            assert batcher.stats.rejected == 1
+            release.set()
+            assert (await first) is True
+
+        try:
+            self._run(scenario())
+        finally:
+            batcher.close()
+
+    def test_request_timeout(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(max_inflight=1, batch_window=0.0, request_timeout=0.1)
+        )
+        release = threading.Event()
+
+        async def scenario():
+            with pytest.raises(TimeoutError):
+                await batcher.submit(("a",), lambda: release.wait(5))
+            assert batcher.stats.timeouts == 1
+            release.set()
+
+        try:
+            self._run(scenario())
+        finally:
+            batcher.close()
+
+    def test_worker_exception_propagates(self):
+        batcher = MicroBatcher(AdmissionConfig(batch_window=0.0))
+
+        def boom():
+            raise ValueError("exploded")
+
+        async def scenario():
+            with pytest.raises(ValueError, match="exploded"):
+                await batcher.submit(("a",), boom)
+
+        try:
+            self._run(scenario())
+        finally:
+            batcher.close()
+
+    def test_invalid_admission_config_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(request_timeout=0)
+
+
+@pytest.fixture
+def serve_url():
+    """A live server over a fresh runtime; yields its base URL."""
+    runtime = Runtime(RuntimeConfig(plan_cache_entries=16, sessions_per_tenant=4))
+    thread = ServerThread(
+        runtime,
+        ServeConfig(port=0, admission=AdmissionConfig(max_inflight=2, batch_window=0.01)),
+    )
+    host, port = thread.start()
+    yield f"http://{host}:{port}"
+    thread.stop()
+    assert runtime.closed
+
+
+def _post(base, path, body, tenant=None):
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Tenant"] = tenant
+    req = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(), headers=headers
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(base, path):
+    try:
+        with urllib.request.urlopen(base + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+class TestServer:
+    def test_healthz(self, serve_url):
+        assert _get(serve_url, "/healthz") == (200, {"ok": True})
+
+    def test_unknown_route_and_method(self, serve_url):
+        status, body = _get(serve_url, "/nope")
+        assert status == 404 and "error" in body
+        status, body = _get(serve_url, "/v1/multiply")
+        assert status == 405 and "error" in body
+
+    def test_multiply_bit_identical_and_replayed(self, serve_url, rng):
+        a = random_csr(rng, 30, 30, 0.15)
+        b = random_csr(rng, 30, 30, 0.15)
+        expected = RowProductSpGEMM().multiply(MultiplyContext.build(a, b))
+        body = {"algorithm": "row-product", "a": csr_to_wire(a), "b": csr_to_wire(b)}
+        status, first = _post(serve_url, "/v1/multiply", body)
+        assert status == 200
+        assert identical(csr_from_wire(first["result"]), expected)
+        assert first["replayed"] is False
+        status, second = _post(serve_url, "/v1/multiply", body)
+        assert status == 200
+        assert second["replayed"] is True
+        assert identical(csr_from_wire(second["result"]), expected)
+
+    def test_concurrent_shared_structure_amortises(self, serve_url, rng):
+        a = random_csr(rng, 30, 30, 0.15)
+        body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+        expected = RowProductSpGEMM().multiply(MultiplyContext.build(a, a))
+        outcomes = []
+        errors = []
+
+        def client():
+            try:
+                outcomes.append(_post(serve_url, "/v1/multiply", body))
+            except BaseException as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(outcomes) == 8
+        for status, reply in outcomes:
+            assert status == 200
+            assert identical(csr_from_wire(reply["result"]), expected)
+        _, stats = _get(serve_url, "/stats")
+        # 8 same-structure requests, one symbolic lowering: amortised.
+        assert stats["runtime"]["plan_cache"]["lowers"] == 1
+        assert stats["requests_per_lowering"] > 1
+        assert stats["batching"]["admitted"] == 8
+
+    def test_pagerank_matches_runtime_path(self, serve_url, rng):
+        adj = random_csr(rng, 35, 35, 0.1)
+        with Runtime(RuntimeConfig()) as local:
+            want = local.pagerank("row-product", adj)
+        status, reply = _post(
+            serve_url,
+            "/v1/pagerank",
+            {"algorithm": "row-product", "adjacency": csr_to_wire(adj)},
+        )
+        assert status == 200
+        assert np.asarray(reply["scores"]).tobytes() == want.scores.tobytes()
+        assert reply["iterations"] == want.iterations
+        assert reply["converged"] == want.converged
+
+    def test_reachability_and_similarity_routes(self, serve_url, rng):
+        adj = random_csr(rng, 25, 25, 0.12)
+        with Runtime(RuntimeConfig()) as local:
+            want_reach = local.reachability("row-product", adj, 2)
+            want_sim = local.similarity("row-product", adj, "jaccard")
+        status, reply = _post(
+            serve_url,
+            "/v1/reachability",
+            {"algorithm": "row-product", "adjacency": csr_to_wire(adj), "k": 2},
+        )
+        assert status == 200
+        assert identical(csr_from_wire(reply["result"]), want_reach)
+        status, reply = _post(
+            serve_url,
+            "/v1/similarity",
+            {"algorithm": "row-product", "adjacency": csr_to_wire(adj),
+             "metric": "jaccard"},
+        )
+        assert status == 200
+        assert identical(csr_from_wire(reply["result"]), want_sim)
+
+    def test_tenant_header_scopes_sessions(self, serve_url, rng):
+        a = random_csr(rng, 20, 20, 0.2)
+        body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+        assert _post(serve_url, "/v1/multiply", body, tenant="alice")[0] == 200
+        assert _post(serve_url, "/v1/multiply", body, tenant="bob")[0] == 200
+        _, stats = _get(serve_url, "/stats")
+        tenants = stats["runtime"]["tenants"]
+        assert tenants["alice"] == 1 and tenants["bob"] == 1
+        # Separate per-tenant caches: same structure lowered once per tenant.
+        assert stats["runtime"]["plan_cache"]["lowers"] == 2
+
+    def test_error_mapping(self, serve_url, rng):
+        a = random_csr(rng, 10, 10, 0.3)
+        status, body = _post(
+            serve_url, "/v1/multiply", {"algorithm": "nope", "a": csr_to_wire(a)}
+        )
+        assert status == 400 and "unknown algorithm" in body["error"]
+        status, body = _post(serve_url, "/v1/multiply", {"algorithm": "row-product"})
+        assert status == 400 and "missing required field" in body["error"]
+        status, body = _post(
+            serve_url,
+            "/v1/pagerank",
+            {"algorithm": "row-product", "adjacency": csr_to_wire(a),
+             "damping": "high"},
+        )
+        assert status == 400 and "damping" in body["error"]
+
+    def test_malformed_json_is_400(self, serve_url):
+        req = urllib.request.Request(
+            serve_url + "/v1/multiply", data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_mismatched_operands_are_400(self, serve_url, rng):
+        a = random_csr(rng, 10, 10, 0.3)
+        c = random_csr(rng, 7, 7, 0.3)
+        status, body = _post(
+            serve_url,
+            "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(a), "b": csr_to_wire(c)},
+        )
+        assert status == 400 and "error" in body
+
+
+class TestServeShutdown:
+    def test_thread_stop_closes_runtime_and_frees_port(self, rng):
+        runtime = Runtime(RuntimeConfig())
+        thread = ServerThread(runtime, ServeConfig(port=0))
+        host, port = thread.start()
+        a = random_csr(rng, 15, 15, 0.2)
+        status, _ = _post(
+            f"http://{host}:{port}", "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(a)},
+        )
+        assert status == 200
+        thread.stop()
+        assert runtime.closed
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                urllib.request.urlopen(f"http://{host}:{port}/healthz", timeout=1)
+            except urllib.error.URLError:
+                break  # refused: listener is gone
+            time.sleep(0.05)
+        else:  # pragma: no cover
+            pytest.fail("server still accepting after stop()")

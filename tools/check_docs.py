@@ -13,6 +13,9 @@ and checks each one *without executing anything*:
 * ``python tools/script.py`` lines and inline file references
   (``tools/...``, ``docs/...``, ``src/...``, ``tests/...``) must exist on
   disk.
+* every option of the ``serve`` subparser must be mentioned in README.md —
+  the serving front-end is configured entirely through its flags, so an
+  undocumented flag is a docs bug.
 
 Inline spans containing ``<`` are templates (``repro experiment <name>``)
 and are skipped; fenced commands must be concrete.  Exits non-zero listing
@@ -25,6 +28,7 @@ Usage::
 
 from __future__ import annotations
 
+import argparse
 import contextlib
 import importlib.util
 import io
@@ -141,6 +145,33 @@ def check_command(cmd: str) -> str | None:
     return None if script.exists() else f"script {tokens[1]} does not exist"
 
 
+def _serve_option_strings() -> list[str]:
+    """Long option strings of the ``serve`` subparser (excluding --help)."""
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    serve = subparsers.choices["serve"]
+    return sorted(
+        opt
+        for action in serve._actions
+        for opt in action.option_strings
+        if opt.startswith("--") and opt != "--help"
+    )
+
+
+def check_serve_flags() -> list[tuple[str, int, str, str]]:
+    """Every serve flag must appear in README.md's CLI reference."""
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    return [
+        ("README.md", 0, f"serve flag {flag}", "not documented in README.md")
+        for flag in _serve_option_strings()
+        if flag not in readme
+    ]
+
+
 def main() -> int:
     failures = []
     checked = 0
@@ -154,6 +185,9 @@ def main() -> int:
             error = check_command(cmd)
             if error is not None:
                 failures.append((doc, lineno, cmd, error))
+    serve_failures = check_serve_flags()
+    checked += len(_serve_option_strings())
+    failures.extend(serve_failures)
     for doc, lineno, cmd, error in failures:
         print(f"{doc}:{lineno}: {cmd!r}: {error}", file=sys.stderr)
     status = "FAILED" if failures else "ok"
