@@ -289,11 +289,19 @@ def _cmd_serve(args: argparse.Namespace, runtime: Runtime) -> int:
             batch_window=args.batch_window,
             max_batch=args.max_batch,
             request_timeout=args.request_timeout,
+            max_inflight_flops=args.max_inflight_flops,
         )
     except ValueError as exc:
         raise ReproError(str(exc)) from None
     serve.run(
-        runtime, serve.ServeConfig(host=args.host, port=args.port, admission=admission)
+        runtime,
+        serve.ServeConfig(
+            host=args.host,
+            port=args.port,
+            admission=admission,
+            trace_dir=args.trace_dir,
+            trace_slow_ms=args.trace_slow_ms,
+        ),
     )
     return 0
 
@@ -406,6 +414,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--request-timeout", type=float, default=60.0, metavar="SECONDS",
         help="per-request wall-clock bound before 504 (default 60)",
+    )
+    p.add_argument(
+        "--max-inflight-flops", type=int, default=0, metavar="FLOPS",
+        help="cost-aware admission: estimated-flop budget for admitted, "
+             "unfinished work; requests beyond it are shed with 503 + "
+             "Retry-After (0 = disabled; default 0)",
+    )
+    p.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="export Chrome traces of slow requests into DIR "
+             "(default: disabled)",
+    )
+    p.add_argument(
+        "--trace-slow-ms", type=float, default=250.0, metavar="MS",
+        help="latency threshold for --trace-dir sampling; 0 traces every "
+             "request (default 250)",
     )
     p.add_argument(
         "--plan-cache-entries", type=int, default=None, metavar="N",

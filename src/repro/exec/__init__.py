@@ -26,11 +26,22 @@ Usage (drivers)::
 inheriting the parent's module state sees ``None``, never the parent's pool —
 process pools do not survive a fork, and nesting pools would oversubscribe
 the machine.
+
+The ambient slot is **thread-local**.  The serving layer runs pooled
+multiplies on micro-batcher worker threads, each wrapping its work in
+``engine_scope(shared_engine)``; with a process-global slot, one thread's
+scope exit would restore *its* saved previous value and uninstall the
+engine out from under a concurrent thread mid-multiply, silently dropping
+that request to the serial path.  Thread-local state makes install/restore
+per-thread (one :class:`ExecEngine` may still be shared across threads —
+its public primitives serialize internally; see
+:attr:`ExecEngine._call_lock`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 
 from repro.exec.engine import (
@@ -55,29 +66,33 @@ __all__ = [
     "uninstall",
 ]
 
-_ACTIVE: ExecEngine | None = None
-_ACTIVE_PID: int = -1
+_STATE = threading.local()
 
 
 def active() -> ExecEngine | None:
-    """The installed engine, or ``None`` (always ``None`` in forked children)."""
-    if _ACTIVE is not None and _ACTIVE_PID == os.getpid():
-        return _ACTIVE
+    """This thread's installed engine, or ``None``.
+
+    Always ``None`` in forked children (the pid guard) and in threads that
+    never installed one — worker threads must enter their own
+    :func:`engine_scope` rather than inherit another thread's.
+    """
+    engine = getattr(_STATE, "engine", None)
+    if engine is not None and getattr(_STATE, "pid", -1) == os.getpid():
+        return engine
     return None
 
 
 def install(engine: ExecEngine) -> ExecEngine:
-    """Install ``engine`` as this process's ambient execution engine."""
-    global _ACTIVE, _ACTIVE_PID
-    _ACTIVE = engine
-    _ACTIVE_PID = os.getpid()
+    """Install ``engine`` as this thread's ambient execution engine."""
+    _STATE.engine = engine
+    _STATE.pid = os.getpid()
     return engine
 
 
 def uninstall() -> ExecEngine | None:
-    """Remove and return the ambient engine (the caller owns its lifetime)."""
-    global _ACTIVE
-    engine, _ACTIVE = active(), None
+    """Remove and return this thread's engine (the caller owns its lifetime)."""
+    engine = active()
+    _STATE.engine = None
     return engine
 
 
@@ -94,10 +109,10 @@ def engine_scope(
     serial), an integer pool width (a fresh engine is created and closed on
     exit), or an existing :class:`ExecEngine` (installed but left open, so a
     session can reuse one pool across iterations; ``partitioner`` is then
-    ignored — the engine keeps its own).  Scopes nest; the previous ambient
-    engine is restored on exit.  Yields the installed engine or ``None``.
+    ignored — the engine keeps its own).  Scopes nest *per thread*; this
+    thread's previous ambient engine is restored on exit.  Yields the
+    installed engine or ``None``.
     """
-    global _ACTIVE, _ACTIVE_PID
     if isinstance(workers, ExecEngine):
         engine, owned = workers, False
     elif workers is not None and int(workers) > 1:
@@ -108,11 +123,12 @@ def engine_scope(
     else:
         yield None
         return
-    previous, previous_pid = _ACTIVE, _ACTIVE_PID
+    previous = getattr(_STATE, "engine", None)
+    previous_pid = getattr(_STATE, "pid", -1)
     install(engine)
     try:
         yield engine
     finally:
-        _ACTIVE, _ACTIVE_PID = previous, previous_pid
+        _STATE.engine, _STATE.pid = previous, previous_pid
         if owned:
             engine.close()

@@ -36,7 +36,9 @@ process lane, exactly like the bench engine's shard traces.
 
 from __future__ import annotations
 
+import functools
 import os
+import threading
 import weakref
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -91,6 +93,25 @@ def default_exec_workers() -> int:
 
 class _Fallback(Exception):
     """Internal: the pool failed; the caller must run its serial path."""
+
+
+def _serialized(method):
+    """Serialize a public primitive across threads (one call at a time).
+
+    One engine may be shared by many serving worker threads, but a call
+    owns per-call scratch in the :class:`SharedArrayRegistry` (created by
+    ``_outputs``, released by ``release_scratch``) — two interleaved calls
+    would release each other's output segments mid-read.  A coarse re-entrant
+    lock around each primitive keeps the registry single-writer; the process
+    pool underneath still runs that call's partitions in parallel.
+    """
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        with self._call_lock:
+            return method(self, *args, **kwargs)
+
+    return wrapper
 
 
 @dataclass
@@ -196,6 +217,7 @@ class ExecEngine:
         )
         self.registry = registry
         self._holder: dict = {"pool": None, "registry": registry}
+        self._call_lock = threading.RLock()
         self._broken = False
         self._finalize = weakref.finalize(self, _cleanup, self._holder)
 
@@ -265,6 +287,7 @@ class ExecEngine:
         return results
 
     # -- expansion primitives ------------------------------------------
+    @_serialized
     def expand_outer_indices(
         self, a_csc: "CSCMatrix", b_csr: "CSRMatrix"
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
@@ -315,6 +338,7 @@ class ExecEngine:
             finally:
                 self.registry.release_scratch()
 
+    @_serialized
     def expand_row_indices(
         self, a_csr: "CSRMatrix", b_csr: "CSRMatrix"
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
@@ -372,6 +396,7 @@ class ExecEngine:
         return refs, views
 
     # -- merge primitives ----------------------------------------------
+    @_serialized
     def merge(
         self,
         rows: np.ndarray,
@@ -484,6 +509,7 @@ class ExecEngine:
             finally:
                 self.registry.release_scratch()
 
+    @_serialized
     def segmented_sum(
         self, vals: np.ndarray, order: np.ndarray, group: np.ndarray, n_groups: int
     ) -> np.ndarray | None:
@@ -499,6 +525,7 @@ class ExecEngine:
             order=order, group=group, n_groups=n_groups,
         )
 
+    @_serialized
     def gather_multiply_sum(
         self,
         a_data: np.ndarray,

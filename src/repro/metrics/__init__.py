@@ -1,6 +1,11 @@
-"""Metrics: LBI (Eq. 3), GFLOPS, and nvprof-style profiling reports."""
+"""Metrics: LBI (Eq. 3), GFLOPS, profiling reports, Prometheus exposition."""
 
 from repro.metrics.gflops import FLOPS_PER_PRODUCT, gflops
+from repro.metrics.promtext import (
+    parse_exposition,
+    render_metrics,
+    validate_exposition,
+)
 from repro.metrics.lbi import load_balancing_index
 from repro.metrics.obsprof import CategoryRollup, category_rollup, format_rollup
 from repro.metrics.planprof import (
@@ -27,4 +32,7 @@ __all__ = [
     "ProfileReport",
     "StageProfile",
     "profile_report",
+    "parse_exposition",
+    "render_metrics",
+    "validate_exposition",
 ]

@@ -46,10 +46,20 @@ from repro.obs.recorder import (
     span,
     uninstall,
 )
+from repro.obs.serving import (
+    NULL_REQUEST_TRACE,
+    RequestTrace,
+    ServingMetrics,
+    StreamingHistogram,
+)
 
 __all__ = [
+    "NULL_REQUEST_TRACE",
     "NULL_SPAN",
+    "RequestTrace",
+    "ServingMetrics",
     "Span",
+    "StreamingHistogram",
     "TraceRecorder",
     "active",
     "adopt",

@@ -22,7 +22,13 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["row_nnz_upper_bound", "estimate_output_nnz"]
+__all__ = ["row_nnz_upper_bound", "estimate_output_nnz", "multiply_flops"]
+
+#: Flop estimates at or beyond this magnitude raise :class:`OverflowError`
+#: from :func:`multiply_flops` — callers budgeting in int64 arithmetic (the
+#: serving admission ledger) must handle the fallback explicitly rather than
+#: silently wrapping.
+FLOPS_OVERFLOW_LIMIT = 1 << 62
 
 
 def row_nnz_upper_bound(row_work: np.ndarray, n_cols: int) -> np.ndarray:
@@ -40,3 +46,33 @@ def row_nnz_upper_bound(row_work: np.ndarray, n_cols: int) -> np.ndarray:
 def estimate_output_nnz(row_work: np.ndarray, n_cols: int) -> int:
     """Total output-nnz upper bound: the sum of :func:`row_nnz_upper_bound`."""
     return int(row_nnz_upper_bound(row_work, n_cols).sum())
+
+
+def multiply_flops(a, b) -> int:
+    """Exact multiply work for ``C = A·B``: the number of scalar products.
+
+    This is the paper's precalculated workload sum — for every stored entry
+    ``A[i, j]`` the multiply touches every stored entry of row ``j`` of
+    ``B``, so the total is ``sum(b_row_nnz[a.indices])``.  It is computed
+    from index structure alone (O(nnz(A)) gather, no value arithmetic),
+    cheap enough to run per-request at the serving trust boundary, and it is
+    the quantity cost-aware admission budgets against.
+
+    ``a`` and ``b`` are CSR-like (``indptr``/``indices`` plus ``shape``).
+    A shape mismatch returns ``0`` — the multiply itself will reject the
+    pair with a proper error, so admission should not double-report it.
+    Estimates at or beyond ``FLOPS_OVERFLOW_LIMIT`` raise
+    :class:`OverflowError` so budget arithmetic can't silently wrap.
+    """
+    if a.shape[1] != b.shape[0]:
+        return 0
+    indices = np.asarray(a.indices, dtype=np.int64)
+    if indices.size == 0:
+        return 0
+    b_row_nnz = np.diff(np.asarray(b.indptr, dtype=np.int64))
+    total = int(b_row_nnz[indices].sum(dtype=np.int64))
+    # A negative total means the int64 accumulator wrapped mid-sum; either
+    # way the estimate is unusable for ledger arithmetic.
+    if total < 0 or total >= FLOPS_OVERFLOW_LIMIT:
+        raise OverflowError(f"flop estimate {total} exceeds budget arithmetic range")
+    return total

@@ -40,6 +40,7 @@ from repro.errors import ReproError
 from repro.gpusim.config import GPUConfig
 from repro.gpusim.simulator import GPUSimulator
 from repro.gpusim.stats import KernelStats
+from repro.obs.serving import NULL_REQUEST_TRACE
 from repro.plan.cache import PlanCache, PlanCacheStats, structure_fingerprint
 from repro.runtime.config import RuntimeConfig
 from repro.sparse.csr import CSRMatrix
@@ -76,13 +77,18 @@ class MultiplyOutcome:
 
 @dataclass
 class RuntimeStats:
-    """A point-in-time snapshot of one runtime's serving state."""
+    """A point-in-time snapshot of one runtime's serving state.
+
+    ``exec`` is the shared exec pool's :meth:`~repro.exec.ExecStats.as_dict`
+    snapshot, or ``None`` while the runtime is serial (no pool built).
+    """
 
     sessions: int
     sessions_evicted: int
     tenants: dict[str, int]
     plan_cache: PlanCacheStats
     requests: int
+    exec: dict | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +97,7 @@ class RuntimeStats:
             "tenants": dict(self.tenants),
             "plan_cache": self.plan_cache.as_dict(),
             "requests": self.requests,
+            "exec": dict(self.exec) if self.exec is not None else None,
         }
 
 
@@ -332,26 +339,36 @@ class Runtime:
         b: CSRMatrix | None = None,
         *,
         tenant: str = "default",
+        trace=NULL_REQUEST_TRACE,
     ) -> MultiplyOutcome:
         """``a @ b`` on a warm session pooled by structure fingerprint.
 
         The outcome records whether the request was served by numeric
         replay (a prior request with this structure paid the symbolic
         work) — the amortisation signal ``repro.serve`` reports per batch.
+        ``trace`` (a :class:`~repro.obs.serving.RequestTrace`) receives the
+        ``session`` (pool lookup + lock wait) and ``numeric`` (multiply on
+        the warm session, exec scope installed) stages.
         """
         fp = structure_fingerprint(a, a if b is None else b)
-        pooled = self.session(algorithm, structure=fp, tenant=tenant)
-        with pooled.lock:
+        with trace.stage("session"):
+            pooled = self.session(algorithm, structure=fp, tenant=tenant)
+            pooled.lock.acquire()
+        try:
             hits_before = pooled.session.stats.hits
-            with self.exec_scope():
+            with trace.stage("numeric"), self.exec_scope():
                 result = pooled.session.multiply(a, b)
             pooled.requests += 1
+        finally:
+            pooled.lock.release()
         with self._lock:
             self._requests += 1
+        replayed = pooled.session.stats.hits > hits_before
+        trace.add(replayed=int(replayed))
         return MultiplyOutcome(
             result=result,
             fingerprint=fp,
-            replayed=pooled.session.stats.hits > hits_before,
+            replayed=replayed,
             tenant=tenant,
         )
 
@@ -365,6 +382,7 @@ class Runtime:
         tol: float = 1e-10,
         max_iter: int = 200,
         tenant: str = "default",
+        trace=NULL_REQUEST_TRACE,
     ):
         """PageRank as fixed-structure spGEMM on a pooled warm session.
 
@@ -375,8 +393,9 @@ class Runtime:
         from repro.apps.pagerank import pagerank_spgemm
 
         fp = "pagerank:" + structure_fingerprint(adjacency, adjacency)
-        pooled = self.session(algorithm, structure=fp, tenant=tenant)
-        with pooled.lock, self.exec_scope():
+        with trace.stage("session"):
+            pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, trace.stage("numeric"), self.exec_scope():
             result = pagerank_spgemm(
                 adjacency,
                 pooled.session,
@@ -396,13 +415,15 @@ class Runtime:
         k: int,
         *,
         tenant: str = "default",
+        trace=NULL_REQUEST_TRACE,
     ) -> CSRMatrix:
         """Boolean k-hop reachability on a pooled warm session."""
         from repro.apps.reachability import k_hop_reachability
 
         fp = f"reach:{k}:" + structure_fingerprint(adjacency, adjacency)
-        pooled = self.session(algorithm, structure=fp, tenant=tenant)
-        with pooled.lock, self.exec_scope():
+        with trace.stage("session"):
+            pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, trace.stage("numeric"), self.exec_scope():
             result = k_hop_reachability(adjacency, k, pooled.session)
             pooled.requests += 1
         with self._lock:
@@ -416,6 +437,7 @@ class Runtime:
         metric: str = "common",
         *,
         tenant: str = "default",
+        trace=NULL_REQUEST_TRACE,
     ) -> CSRMatrix:
         """Node-similarity matrix (``common``/``cosine``/``jaccard``)."""
         from repro.apps import similarity as sim
@@ -430,8 +452,9 @@ class Runtime:
                 f"unknown similarity metric {metric!r}; known: {sorted(metrics)}"
             )
         fp = f"sim:{metric}:" + structure_fingerprint(adjacency, adjacency)
-        pooled = self.session(algorithm, structure=fp, tenant=tenant)
-        with pooled.lock, self.exec_scope():
+        with trace.stage("session"):
+            pooled = self.session(algorithm, structure=fp, tenant=tenant)
+        with pooled.lock, trace.stage("numeric"), self.exec_scope():
             result = metrics[metric](adjacency, pooled.session)
             pooled.requests += 1
         with self._lock:
@@ -490,12 +513,14 @@ class Runtime:
             for (tenant, _, _), pooled in self._sessions.items():
                 merged.merge(pooled.session.stats)
                 tenants[tenant] = tenants.get(tenant, 0) + 1
+            exec_stats = self._engine.stats.as_dict() if self._engine else None
             return RuntimeStats(
                 sessions=len(self._sessions),
                 sessions_evicted=self._sessions_evicted,
                 tenants=tenants,
                 plan_cache=merged,
                 requests=self._requests,
+                exec=exec_stats,
             )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

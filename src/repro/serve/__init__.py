@@ -9,7 +9,13 @@ for routes and :mod:`repro.serve.batching` for admission control.
 
 from repro.serve.batching import AdmissionConfig, BatchStats, MicroBatcher, Overloaded
 from repro.serve.protocol import BadRequest, csr_from_wire, csr_to_wire
-from repro.serve.server import ServeConfig, Server, ServerThread, run
+from repro.serve.server import (
+    ServeConfig,
+    Server,
+    ServerThread,
+    run,
+    stats_field_names,
+)
 
 __all__ = [
     "AdmissionConfig",
@@ -23,4 +29,5 @@ __all__ = [
     "csr_from_wire",
     "csr_to_wire",
     "run",
+    "stats_field_names",
 ]

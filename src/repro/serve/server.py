@@ -7,7 +7,8 @@ exposing the numeric plane to concurrent callers:
 route                        body
 ===========================  ========================================================
 ``GET /healthz``             — liveness probe
-``GET /stats``               — runtime + batching counters, amortisation factor
+``GET /stats``               — runtime + batching + per-route serving counters
+``GET /metrics``             — the same counters in Prometheus text format
 ``POST /v1/multiply``        ``{"algorithm", "a", "b"?}``
 ``POST /v1/pagerank``        ``{"algorithm", "adjacency", "damping"?, "tol"?, "max_iter"?}``
 ``POST /v1/reachability``    ``{"algorithm", "adjacency", "k"}``
@@ -16,29 +17,55 @@ route                        body
 
 Matrices use the wire format of :mod:`repro.serve.protocol`; the optional
 ``X-Tenant`` header scopes requests to a tenant's session pool (and hence
-its plan-cache quota).  Request lifecycle: accept → fingerprint the operand
-structure → micro-batch same-structure requests (:mod:`repro.serve.batching`)
-→ execute on the warm pooled session → numeric replay for every request
-after the structure's first.  Responses are bit-identical to the batch CLI
-path because both route through the same :class:`~repro.runtime.Runtime`.
+its plan-cache quota).
 
-Errors: 400 malformed/unknown inputs, 404/405 bad route, 503 over
-admission capacity, 504 per-request timeout, 500 anything else — always
-``{"error": "..."}``.
+Request lifecycle (each stage is a span on the request's
+:class:`~repro.obs.serving.RequestTrace`)::
+
+    accept → parse → validate → admission → batch_wait → session → numeric
+           → serialize
+
+``parse`` decodes the JSON body; ``validate`` rebuilds and checks the CSR
+operands at the trust boundary; ``admission`` estimates the request's flop
+cost (:func:`repro.plan.estimate.multiply_flops`) and checks it against the
+``--max-inflight-flops`` budget; ``batch_wait`` is the queue time until a
+micro-batch picks the request up (:mod:`repro.serve.batching` coalesces
+same-structure requests); ``session``/``numeric`` are recorded inside the
+runtime (pool lookup + lock wait, then the multiply itself — executed
+through the shared :class:`~repro.exec.ExecEngine` when the runtime has
+one); ``serialize`` re-encodes the result.  Responses are bit-identical to
+the batch CLI path because both route through the same
+:class:`~repro.runtime.Runtime`.
+
+Every completed request lands in per-route and per-tenant streaming
+histograms (:class:`~repro.obs.serving.ServingMetrics`) surfaced by
+``/stats`` and ``/metrics``; with ``--trace-dir`` set, requests slower than
+``--trace-slow-ms`` export their span tree as a Chrome trace file.
+
+Errors: 400 malformed/unknown inputs, 404/405 bad route, 503 shed by
+admission (with a ``Retry-After`` header derived from the observed drain
+rate), 504 per-request timeout, 500 anything else — always
+``{"error": "..."}``.  Shed requests count in the ``sheds`` column only;
+``requests``/``errors``/latency cover requests that reached a handler and
+produced a result.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
 import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
+from repro.metrics.promtext import render_metrics
+from repro.obs.serving import RequestTrace, ServingMetrics
 from repro.plan.cache import structure_fingerprint
+from repro.plan.estimate import multiply_flops
 from repro.runtime import Runtime, lifecycle
-from repro.serve.batching import AdmissionConfig, MicroBatcher, Overloaded
+from repro.serve.batching import AdmissionConfig, BatchStats, MicroBatcher, Overloaded
 from repro.serve.protocol import (
     BadRequest,
     csr_from_wire,
@@ -48,19 +75,31 @@ from repro.serve.protocol import (
     scalar,
 )
 
-__all__ = ["ServeConfig", "Server", "ServerThread", "run"]
+__all__ = ["ServeConfig", "Server", "ServerThread", "run", "stats_field_names"]
 
 #: readuntil() bound for the header block; bodies are read by length.
 _MAX_HEADER_BYTES = 1 << 20
 
+#: Most trace files one server writes into ``--trace-dir`` (slow requests
+#: under sustained overload must not fill the disk).
+TRACE_FILE_CAP = 128
+
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Where to listen plus the admission/batching bounds."""
+    """Where to listen, admission/batching bounds, and trace sampling.
+
+    ``trace_dir=None`` disables per-request trace export; otherwise any
+    request slower than ``trace_slow_ms`` milliseconds writes its span tree
+    to ``trace_dir`` (at most :data:`TRACE_FILE_CAP` files; set
+    ``trace_slow_ms=0`` to sample every request).
+    """
 
     host: str = "127.0.0.1"
     port: int = 8077
     admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    trace_dir: str | None = None
+    trace_slow_ms: float = 250.0
 
 
 class Server:
@@ -71,6 +110,7 @@ class Server:
         self.runtime = runtime
         self.config = config if config is not None else ServeConfig()
         self.batcher = MicroBatcher(self.config.admission)
+        self.metrics = ServingMetrics()
         self._server: asyncio.AbstractServer | None = None
 
     # -- lifecycle ------------------------------------------------------
@@ -113,9 +153,11 @@ class Server:
                 except (ValueError, asyncio.IncompleteReadError):
                     await _respond(writer, 400, {"error": "malformed HTTP request"})
                     break
-                status, payload = await self._route(method, path, headers, body)
+                status, payload, extra = await self._route(method, path, headers, body)
                 keep_alive = headers.get("connection", "").lower() != "close"
-                await _respond(writer, status, payload, keep_alive=keep_alive)
+                await _respond(
+                    writer, status, payload, keep_alive=keep_alive, extra_headers=extra
+                )
                 if not keep_alive:
                     break
         except ConnectionResetError:  # pragma: no cover - client vanished
@@ -129,61 +171,117 @@ class Server:
 
     async def _route(self, method: str, path: str, headers: dict, body: bytes):
         if path == "/healthz":
-            return 200, {"ok": True}
+            return 200, {"ok": True}, {}
         if path == "/stats":
-            return 200, self._stats_payload()
+            return 200, self._stats_payload(), {}
+        if path == "/metrics":
+            text = render_metrics(self._stats_payload(include_buckets=True))
+            return 200, text, {}
         handlers = {
-            "/v1/multiply": self._multiply,
-            "/v1/pagerank": self._pagerank,
-            "/v1/reachability": self._reachability,
-            "/v1/similarity": self._similarity,
+            "/v1/multiply": ("multiply", self._multiply),
+            "/v1/pagerank": ("pagerank", self._pagerank),
+            "/v1/reachability": ("reachability", self._reachability),
+            "/v1/similarity": ("similarity", self._similarity),
         }
-        handler = handlers.get(path)
-        if handler is None:
-            return 404, {"error": f"no such route: {path}"}
+        entry = handlers.get(path)
+        if entry is None:
+            return 404, {"error": f"no such route: {path}"}, {}
+        route, handler = entry
         if method != "POST":
-            return 405, {"error": f"{path} requires POST"}
+            return 405, {"error": f"{path} requires POST"}, {}
         tenant = headers.get("x-tenant", "default") or "default"
+        trace = RequestTrace(route, tenant)
+        extra: dict[str, str] = {}
+        shed = False
         try:
-            return 200, await handler(json_body(body), tenant)
+            with trace.stage("parse", body_bytes=len(body)):
+                parsed = json_body(body)
+            status, payload = 200, await handler(parsed, tenant, trace)
         except (BadRequest, ReproError) as exc:
-            return 400, {"error": str(exc)}
+            status, payload = 400, {"error": str(exc)}
         except Overloaded as exc:
-            return 503, {"error": str(exc)}
+            shed = True
+            status = 503
+            payload = {
+                "error": str(exc),
+                "reason": exc.reason,
+                "retry_after": exc.retry_after,
+            }
+            extra["Retry-After"] = str(exc.retry_after)
         except TimeoutError as exc:
-            return 504, {"error": str(exc)}
+            status, payload = 504, {"error": str(exc)}
         except Exception as exc:  # pragma: no cover - last-resort guard
-            return 500, {"error": f"internal error: {exc}"}
+            status, payload = 500, {"error": f"internal error: {exc}"}
+        trace.add(status=status)
+        if shed:
+            self.metrics.shed(route, tenant)
+        else:
+            self.metrics.observe(route, tenant, trace.elapsed(), status)
+        self._maybe_export_trace(trace, status)
+        return status, payload, extra
 
     # -- request handlers ----------------------------------------------
-    async def _multiply(self, body: dict, tenant: str) -> dict:
-        algorithm = str(require(body, "algorithm"))
-        a = csr_from_wire(require(body, "a"), "a")
-        b = csr_from_wire(body["b"], "b") if body.get("b") is not None else None
-        fingerprint = structure_fingerprint(a, a if b is None else b)
-        key = (tenant, "multiply", algorithm, fingerprint)
-        outcome = await self.batcher.submit(
-            key, lambda: self.runtime.multiply(algorithm, a, b, tenant=tenant)
-        )
-        return {
-            "result": csr_to_wire(outcome.result),
-            "fingerprint": outcome.fingerprint,
-            "replayed": outcome.replayed,
-        }
+    def _estimate_cost(self, a, b, trace) -> int:
+        """Flop cost of ``a @ b`` for admission, at the trust boundary.
 
-    async def _pagerank(self, body: dict, tenant: str) -> dict:
-        algorithm = str(require(body, "algorithm"))
-        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
-        damping = scalar(body, "damping", float, 0.85)
-        tol = scalar(body, "tol", float, 1e-10)
-        max_iter = scalar(body, "max_iter", int, 200)
-        key = (
-            tenant,
-            "pagerank",
-            algorithm,
-            structure_fingerprint(adjacency, adjacency),
+        An estimate too large for budget arithmetic (:class:`OverflowError`)
+        falls back to the *whole* budget: the request is admitted only on an
+        otherwise-idle ledger and serialises against everything else —
+        conservative, counted in ``estimate_fallbacks``.
+        """
+        budget = self.config.admission.max_inflight_flops
+        try:
+            cost = multiply_flops(a, b)
+        except OverflowError:
+            self.metrics.estimate_fallbacks += 1
+            cost = budget
+        trace.add(estimated_flops=cost)
+        return cost
+
+    async def _submit(self, key: tuple, work_fn, cost: int, trace):
+        """Admit + enqueue; record queue time as the ``batch_wait`` stage."""
+        queued_at = trace.elapsed()
+
+        def work():
+            trace.record("batch_wait", queued_at, trace.elapsed() - queued_at)
+            return work_fn()
+
+        with trace.stage("admission", estimated_flops=cost):
+            self.batcher.admit(cost)
+        return await self.batcher.submit(key, work, cost)
+
+    async def _multiply(self, body: dict, tenant: str, trace) -> dict:
+        with trace.stage("validate"):
+            algorithm = str(require(body, "algorithm"))
+            a = csr_from_wire(require(body, "a"), "a")
+            b = csr_from_wire(body["b"], "b") if body.get("b") is not None else None
+            fingerprint = structure_fingerprint(a, a if b is None else b)
+        cost = self._estimate_cost(a, a if b is None else b, trace)
+        key = (tenant, "multiply", algorithm, fingerprint)
+        outcome = await self._submit(
+            key,
+            lambda: self.runtime.multiply(algorithm, a, b, tenant=tenant, trace=trace),
+            cost,
+            trace,
         )
-        result = await self.batcher.submit(
+        with trace.stage("serialize"):
+            return {
+                "result": csr_to_wire(outcome.result),
+                "fingerprint": outcome.fingerprint,
+                "replayed": outcome.replayed,
+            }
+
+    async def _pagerank(self, body: dict, tenant: str, trace) -> dict:
+        with trace.stage("validate"):
+            algorithm = str(require(body, "algorithm"))
+            adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+            damping = scalar(body, "damping", float, 0.85)
+            tol = scalar(body, "tol", float, 1e-10)
+            max_iter = scalar(body, "max_iter", int, 200)
+            fingerprint = structure_fingerprint(adjacency, adjacency)
+        cost = self._estimate_cost(adjacency, adjacency, trace)
+        key = (tenant, "pagerank", algorithm, fingerprint)
+        result = await self._submit(
             key,
             lambda: self.runtime.pagerank(
                 algorithm,
@@ -192,62 +290,159 @@ class Server:
                 tol=tol,
                 max_iter=max_iter,
                 tenant=tenant,
+                trace=trace,
             ),
+            cost,
+            trace,
         )
-        return {
-            "scores": result.scores.tolist(),
-            "iterations": result.iterations,
-            "residual": result.residual,
-            "converged": result.converged,
-        }
+        with trace.stage("serialize"):
+            return {
+                "scores": result.scores.tolist(),
+                "iterations": result.iterations,
+                "residual": result.residual,
+                "converged": result.converged,
+            }
 
-    async def _reachability(self, body: dict, tenant: str) -> dict:
-        algorithm = str(require(body, "algorithm"))
-        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
-        k = scalar(body, "k", int, 2)
-        key = (
-            tenant,
-            f"reach:{k}",
-            algorithm,
-            structure_fingerprint(adjacency, adjacency),
-        )
-        result = await self.batcher.submit(
+    async def _reachability(self, body: dict, tenant: str, trace) -> dict:
+        with trace.stage("validate"):
+            algorithm = str(require(body, "algorithm"))
+            adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+            k = scalar(body, "k", int, 2)
+            fingerprint = structure_fingerprint(adjacency, adjacency)
+        cost = self._estimate_cost(adjacency, adjacency, trace)
+        key = (tenant, f"reach:{k}", algorithm, fingerprint)
+        result = await self._submit(
             key,
-            lambda: self.runtime.reachability(algorithm, adjacency, k, tenant=tenant),
+            lambda: self.runtime.reachability(
+                algorithm, adjacency, k, tenant=tenant, trace=trace
+            ),
+            cost,
+            trace,
         )
-        return {"result": csr_to_wire(result), "k": k}
+        with trace.stage("serialize"):
+            return {"result": csr_to_wire(result), "k": k}
 
-    async def _similarity(self, body: dict, tenant: str) -> dict:
-        algorithm = str(require(body, "algorithm"))
-        adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
-        metric = str(body.get("metric", "common"))
-        key = (
-            tenant,
-            f"sim:{metric}",
-            algorithm,
-            structure_fingerprint(adjacency, adjacency),
-        )
-        result = await self.batcher.submit(
+    async def _similarity(self, body: dict, tenant: str, trace) -> dict:
+        with trace.stage("validate"):
+            algorithm = str(require(body, "algorithm"))
+            adjacency = csr_from_wire(require(body, "adjacency"), "adjacency")
+            metric = str(body.get("metric", "common"))
+            fingerprint = structure_fingerprint(adjacency, adjacency)
+        cost = self._estimate_cost(adjacency, adjacency, trace)
+        key = (tenant, f"sim:{metric}", algorithm, fingerprint)
+        result = await self._submit(
             key,
             lambda: self.runtime.similarity(
-                algorithm, adjacency, metric, tenant=tenant
+                algorithm, adjacency, metric, tenant=tenant, trace=trace
             ),
+            cost,
+            trace,
         )
-        return {"result": csr_to_wire(result), "metric": metric}
+        with trace.stage("serialize"):
+            return {"result": csr_to_wire(result), "metric": metric}
+
+    # -- trace export ----------------------------------------------------
+    def _maybe_export_trace(self, trace: RequestTrace, status: int) -> None:
+        """Write the request's span tree when it qualifies as slow.
+
+        Sampling is by latency (``>= trace_slow_ms``), capped at
+        :data:`TRACE_FILE_CAP` files per server lifetime; export failures
+        are swallowed — tracing must never fail a request.
+        """
+        directory = self.config.trace_dir
+        if directory is None:
+            return
+        if trace.elapsed() * 1e3 < self.config.trace_slow_ms:
+            return
+        if self.metrics.traces_written >= TRACE_FILE_CAP:
+            return
+        name = f"request-{self.metrics.traces_written:04d}-{trace.route}.trace.json"
+        try:
+            os.makedirs(directory, exist_ok=True)
+            trace.write(os.path.join(directory, name), meta={"status": status})
+        except OSError:  # pragma: no cover - disk trouble must not 500
+            return
+        self.metrics.traces_written += 1
 
     # -- stats ----------------------------------------------------------
-    def _stats_payload(self) -> dict:
+    def _stats_payload(self, *, include_buckets: bool = False) -> dict:
         runtime_stats = self.runtime.stats()
         lowers = runtime_stats.plan_cache.lowers
+        bstats = self.batcher.stats
+        serving = self.metrics.snapshot(include_buckets=include_buckets)
+        serving["queue_depth"] = self.batcher.queue_depth
+        serving["inflight_flops"] = self.batcher.inflight_flops
+        # How well the batch window coalesces: mean requests per dispatch.
+        serving["coalescence_factor"] = (
+            bstats.batched_requests / bstats.batches if bstats.batches else None
+        )
         return {
             "runtime": runtime_stats.as_dict(),
-            "batching": self.batcher.stats.as_dict(),
+            "batching": bstats.as_dict(),
+            "serving": serving,
             # The serving thesis in one number: requests answered per
             # symbolic lowering paid (> 1 means amortisation is working).
             "requests_per_lowering": (
                 runtime_stats.requests / lowers if lowers else None
             ),
         }
+
+
+#: ``/stats`` sections whose dict keys are data (route/tenant/op names),
+#: not schema — their *children* are walked, the names themselves are not
+#: part of the documented field set.
+_DYNAMIC_KEY_SECTIONS = {"routes", "tenants", "per_op"}
+
+
+def stats_field_names() -> set[str]:
+    """Every field name the ``/stats`` payload can contain.
+
+    Built by walking a fully-populated sample payload (all optional
+    sections present: one observed route/tenant, exec stats attached), so
+    ``tools/check_docs.py`` can require each name in the OPERATIONS.md
+    glossary and a test can assert the sample stays a superset of a live
+    server's payload.  Keys under route/tenant/per-op maps are data, not
+    schema, and are excluded (their value dicts are still walked).
+    """
+    from repro.exec.engine import ExecStats
+    from repro.plan.cache import PlanCacheStats
+    from repro.runtime.core import RuntimeStats
+
+    metrics = ServingMetrics()
+    metrics.observe("multiply", "default", 1e-3, 200)
+    runtime_stats = RuntimeStats(
+        sessions=0,
+        sessions_evicted=0,
+        tenants={},
+        plan_cache=PlanCacheStats(),
+        requests=0,
+        exec=ExecStats().as_dict(),
+    )
+    serving = metrics.snapshot()
+    serving.update(queue_depth=0, inflight_flops=0, coalescence_factor=None)
+    sample = {
+        "runtime": runtime_stats.as_dict(),
+        "batching": BatchStats().as_dict(),
+        "serving": serving,
+        "requests_per_lowering": None,
+    }
+
+    names: set[str] = set()
+
+    def walk(node: dict) -> None:
+        for key, value in node.items():
+            names.add(key)
+            if not isinstance(value, dict):
+                continue
+            if key in _DYNAMIC_KEY_SECTIONS:
+                for child in value.values():
+                    if isinstance(child, dict):
+                        walk(child)
+            else:
+                walk(value)
+
+    walk(sample)
+    return names
 
 
 # -- HTTP plumbing ------------------------------------------------------
@@ -269,7 +464,14 @@ def _parse_head(head: bytes) -> tuple[str, str, dict]:
     return method.upper(), path, headers
 
 
-async def _respond(writer, status: int, payload: dict, *, keep_alive: bool = False):
+async def _respond(
+    writer,
+    status: int,
+    payload,
+    *,
+    keep_alive: bool = False,
+    extra_headers: dict | None = None,
+):
     reasons = {
         200: "OK",
         400: "Bad Request",
@@ -279,12 +481,21 @@ async def _respond(writer, status: int, payload: dict, *, keep_alive: bool = Fal
         503: "Service Unavailable",
         504: "Gateway Timeout",
     }
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if isinstance(payload, str):  # /metrics exposition
+        body = payload.encode("utf-8")
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        content_type = "application/json"
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items()
+    )
     head = (
         f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
         "\r\n"
     ).encode("latin-1")
     writer.write(head + body)

@@ -370,6 +370,288 @@ class TestServer:
         assert status == 400 and "error" in body
 
 
+def _get_text(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _post_full(base, path, body, tenant=None):
+    """Like _post but also returns the response headers."""
+    headers = {"Content-Type": "application/json"}
+    if tenant:
+        headers["X-Tenant"] = tenant
+    req = urllib.request.Request(
+        base + path, data=json.dumps(body).encode(), headers=headers
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read()), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), dict(exc.headers)
+
+
+class TestCostAdmission:
+    @pytest.fixture
+    def budget_url(self):
+        """A server with a tiny flop budget (sheds anything sizeable)."""
+        runtime = Runtime(RuntimeConfig())
+        thread = ServerThread(
+            runtime,
+            ServeConfig(
+                port=0,
+                admission=AdmissionConfig(
+                    max_inflight=2, batch_window=0.0, max_inflight_flops=50
+                ),
+            ),
+        )
+        host, port = thread.start()
+        yield f"http://{host}:{port}"
+        thread.stop()
+
+    def test_oversized_request_shed_small_request_served(self, budget_url, rng):
+        big = random_csr(rng, 40, 40, 0.3)  # flops far beyond the 50 budget
+        status, body, headers = _post_full(
+            budget_url,
+            "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(big)},
+        )
+        assert status == 503
+        assert body["reason"] == "cost"
+        assert int(headers["Retry-After"]) >= 1
+        assert body["retry_after"] == int(headers["Retry-After"])
+        small = random_csr(rng, 4, 4, 0.2)  # a handful of flops: admitted
+        status, body, _ = _post_full(
+            budget_url,
+            "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(small)},
+        )
+        assert status == 200
+        _, stats = _get(budget_url, "/stats")
+        assert stats["batching"]["shed_cost"] == 1
+        assert stats["serving"]["routes"]["multiply"]["sheds"] == 1
+        # The shed did not count as a served request.
+        assert stats["serving"]["routes"]["multiply"]["requests"] == 1
+
+    def test_zero_flop_request_always_admitted(self, budget_url, rng):
+        empty = random_csr(rng, 30, 30, 0.0)  # no stored entries: 0 flops
+        status, body, _ = _post_full(
+            budget_url,
+            "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(empty)},
+        )
+        assert status == 200
+
+    def test_estimate_overflow_falls_back_to_full_budget(
+        self, budget_url, rng, monkeypatch
+    ):
+        import repro.serve.server as server_mod
+
+        def explode(a, b):
+            raise OverflowError("estimate out of range")
+
+        monkeypatch.setattr(server_mod, "multiply_flops", explode)
+        small = random_csr(rng, 5, 5, 0.2)
+        # Admitted at full budget: the ledger is otherwise idle.
+        status, body, _ = _post_full(
+            budget_url,
+            "/v1/multiply",
+            {"algorithm": "row-product", "a": csr_to_wire(small)},
+        )
+        assert status == 200
+        _, stats = _get(budget_url, "/stats")
+        assert stats["serving"]["estimate_fallbacks"] == 1
+
+    def test_retry_after_monotone_under_sustained_overload(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(
+                max_inflight=1, max_queue=8, batch_window=0.0,
+                max_inflight_flops=100,
+            )
+        )
+        release = threading.Event()
+
+        async def scenario():
+            # Prime the drain-rate estimate with one quick completed job...
+            await batcher.submit(("warm",), lambda: None, 10)
+            await asyncio.sleep(0.05)  # let its drain callback land
+            # ...then wedge the budget with work that never finishes.
+            blocked = asyncio.get_running_loop().create_task(
+                batcher.submit(("big",), lambda: release.wait(10), 95)
+            )
+            await asyncio.sleep(0.05)
+            hints = []
+            for _ in range(4):
+                with pytest.raises(Overloaded) as excinfo:
+                    await batcher.submit(("more",), lambda: None, 50)
+                assert excinfo.value.reason == "cost"
+                hints.append(excinfo.value.retry_after)
+                await asyncio.sleep(0.05)
+            # Nothing drained meanwhile, so the observed drain rate only
+            # decays and the advised back-off can never shrink.
+            assert hints == sorted(hints)
+            assert batcher.stats.shed_cost == 4
+            assert batcher.stats.retry_after_last == hints[-1]
+            release.set()
+            await blocked
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            batcher.close()
+
+    def test_ledger_drains_after_completion(self):
+        batcher = MicroBatcher(
+            AdmissionConfig(max_inflight=1, batch_window=0.0, max_inflight_flops=100)
+        )
+
+        async def scenario():
+            await batcher.submit(("a",), lambda: None, 60)
+            await asyncio.sleep(0.05)  # let the drain callback land
+            assert batcher.inflight_flops == 0
+            assert batcher.stats.drained_flops == 60
+            assert batcher.stats.completed == 1
+            # Budget is free again: the next 60-flop request is admitted.
+            await batcher.submit(("b",), lambda: None, 60)
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            batcher.close()
+
+
+class TestServingObservability:
+    def test_stats_reports_route_latency_and_tenants(self, serve_url, rng):
+        a = random_csr(rng, 20, 20, 0.2)
+        body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+        for _ in range(3):
+            assert _post(serve_url, "/v1/multiply", body, tenant="alice")[0] == 200
+        _, stats = _get(serve_url, "/stats")
+        route = stats["serving"]["routes"]["multiply"]
+        assert route["requests"] == 3
+        assert route["errors"] == 0
+        latency = route["latency_ms"]
+        assert latency["count"] == 3
+        assert latency["p50"] is not None and latency["p99"] >= latency["p50"]
+        assert stats["serving"]["tenants"]["alice"]["requests"] == 3
+        assert stats["serving"]["coalescence_factor"] >= 1.0
+        assert stats["serving"]["queue_depth"] == 0
+        assert stats["serving"]["inflight_flops"] == 0
+
+    def test_errors_counted_in_histograms(self, serve_url, rng):
+        a = random_csr(rng, 10, 10, 0.3)
+        status, _ = _post(
+            serve_url, "/v1/multiply", {"algorithm": "nope", "a": csr_to_wire(a)}
+        )
+        assert status == 400
+        _, stats = _get(serve_url, "/stats")
+        route = stats["serving"]["routes"]["multiply"]
+        assert route["requests"] == 1 and route["errors"] == 1
+
+    def test_metrics_scrape_is_valid_prometheus(self, serve_url, rng):
+        from repro.metrics.promtext import validate_exposition
+
+        a = random_csr(rng, 15, 15, 0.2)
+        body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+        assert _post(serve_url, "/v1/multiply", body)[0] == 200
+        status, text = _get_text(serve_url, "/metrics")
+        assert status == 200
+        samples = validate_exposition(text)
+        requests = {
+            labels["route"]: value
+            for labels, value in samples["repro_requests_total"]
+        }
+        assert requests["multiply"] == 1
+        _, stats = _get(serve_url, "/stats")
+        assert requests["multiply"] == (
+            stats["serving"]["routes"]["multiply"]["requests"]
+        )
+
+    def test_stats_field_names_covers_live_payload(self, serve_url, rng):
+        from repro.serve.server import _DYNAMIC_KEY_SECTIONS, stats_field_names
+
+        a = random_csr(rng, 15, 15, 0.2)
+        body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+        assert _post(serve_url, "/v1/multiply", body)[0] == 200
+        _, stats = _get(serve_url, "/stats")
+        live: set[str] = set()
+
+        def walk(node):
+            for key, value in node.items():
+                live.add(key)
+                if not isinstance(value, dict):
+                    continue
+                if key in _DYNAMIC_KEY_SECTIONS:
+                    for child in value.values():
+                        if isinstance(child, dict):
+                            walk(child)
+                else:
+                    walk(value)
+
+        walk(stats)
+        missing = live - stats_field_names()
+        assert not missing, f"undocumentable live /stats keys: {sorted(missing)}"
+
+    def test_trace_dir_exports_slow_requests(self, rng, tmp_path):
+        runtime = Runtime(RuntimeConfig())
+        trace_dir = tmp_path / "traces"
+        thread = ServerThread(
+            runtime,
+            ServeConfig(port=0, trace_dir=str(trace_dir), trace_slow_ms=0.0),
+        )
+        host, port = thread.start()
+        try:
+            a = random_csr(rng, 15, 15, 0.2)
+            body = {"algorithm": "row-product", "a": csr_to_wire(a)}
+            base = f"http://{host}:{port}"
+            assert _post(base, "/v1/multiply", body)[0] == 200
+            _, stats = _get(base, "/stats")
+            assert stats["serving"]["traces_written"] == 1
+        finally:
+            thread.stop()
+        files = sorted(trace_dir.glob("*.trace.json"))
+        assert len(files) == 1
+        payload = json.loads(files[0].read_text())
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "request[multiply]" in names
+        # The full lifecycle made it into the span tree.
+        for stage in ("request.parse", "request.validate", "request.admission",
+                      "request.batch_wait", "request.session", "request.numeric",
+                      "request.serialize"):
+            assert stage in names, f"missing stage {stage}"
+        assert payload["otherData"]["status"] == 200
+
+    def test_histograms_deterministic_across_dispatch_modes(self, rng):
+        """Serial vs exec-pool dispatch: same requests, same counts, and the
+        served results stay bit-identical to the serial batch path."""
+        a = random_csr(rng, 30, 30, 0.15)
+        b = random_csr(rng, 30, 30, 0.15)
+        expected = RowProductSpGEMM().multiply(MultiplyContext.build(a, b))
+        body = {"algorithm": "row-product", "a": csr_to_wire(a), "b": csr_to_wire(b)}
+        counts = {}
+        for label, workers in (("serial", 1), ("pooled", 2)):
+            runtime = Runtime(RuntimeConfig(exec_workers=workers))
+            thread = ServerThread(runtime, ServeConfig(port=0))
+            host, port = thread.start()
+            try:
+                base = f"http://{host}:{port}"
+                for _ in range(4):
+                    status, reply = _post(base, "/v1/multiply", body)
+                    assert status == 200
+                    assert identical(csr_from_wire(reply["result"]), expected)
+                _, stats = _get(base, "/stats")
+                route = stats["serving"]["routes"]["multiply"]
+                counts[label] = (
+                    route["requests"], route["errors"], route["sheds"],
+                    route["latency_ms"]["count"],
+                )
+                if workers > 1:
+                    # The shared exec engine's counters surface in /stats.
+                    assert stats["runtime"]["exec"] is not None
+            finally:
+                thread.stop()
+        assert counts["serial"] == counts["pooled"] == (4, 0, 0, 4)
+
+
 class TestServeShutdown:
     def test_thread_stop_closes_runtime_and_frees_port(self, rng):
         runtime = Runtime(RuntimeConfig())

@@ -11,19 +11,27 @@ repro serve``), then drives it with N concurrent clients in two phases:
 
 For each phase it records wall-clock throughput, p50/p99 latency and the
 **amortisation factor** — requests answered per symbolic lowering paid,
-read from the server's ``/stats`` deltas.  Every multiply response is
-asserted *bit-identical* to the same product computed locally through
-:class:`repro.runtime.Runtime` (the batch-CLI path), and mixed
-multiply/pagerank traffic is checked the same way.  On shutdown (SIGTERM)
-the bench asserts a zero exit code, no leaked ``/dev/shm/repro-exec-*``
-segments and no surviving worker processes.
+read from the server's ``/stats`` deltas.  Latency is recorded twice: from
+client wall clocks AND from the server's own ``/stats`` streaming
+histogram, and the two views must agree within histogram-bucket tolerance
+(the server buckets are sqrt(2)-spaced, so quantiles round up by at most
+~41%; clients additionally see connection overhead).  Every multiply
+response is asserted *bit-identical* to the same product computed locally
+through :class:`repro.runtime.Runtime` (the batch-CLI path) — the server
+runs with the multicore exec pool enabled, so this also pins exec-pool
+dispatch to the serial reference.  Mixed multiply/pagerank traffic is
+checked the same way.  A final ``/metrics`` scrape is validated against
+the Prometheus exposition schema (``--metrics-out`` saves it), and
+``--trace-dir`` makes the server export every request as a Chrome trace.
+On shutdown (SIGTERM) the bench asserts a zero exit code, no leaked
+``/dev/shm/repro-exec-*`` segments and no surviving worker processes.
 
-Writes the measurements as JSON — ``BENCH_pr7.json`` at the repo root
+Writes the measurements as JSON — ``BENCH_pr8.json`` at the repo root
 records the PR's numbers.
 
 Usage::
 
-    PYTHONPATH=src python tools/bench_serve.py --out BENCH_pr7.json
+    PYTHONPATH=src python tools/bench_serve.py --out BENCH_pr8.json
     PYTHONPATH=src python tools/bench_serve.py --smoke   # CI: small + asserts
 """
 
@@ -47,6 +55,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 import numpy as np  # noqa: E402
 
+from repro.metrics.promtext import validate_exposition  # noqa: E402
 from repro.runtime import Runtime, RuntimeConfig  # noqa: E402
 from repro.serve.protocol import csr_from_wire, csr_to_wire  # noqa: E402
 from repro.sparse.csr import CSRMatrix  # noqa: E402
@@ -86,6 +95,10 @@ class ServeClient:
         with urllib.request.urlopen(self.base + path, timeout=30) as resp:
             return json.loads(resp.read())
 
+    def get_text(self, path: str) -> str:
+        with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+            return resp.read().decode("utf-8")
+
 
 def start_server(args) -> tuple[subprocess.Popen, str]:
     cmd = [
@@ -93,7 +106,10 @@ def start_server(args) -> tuple[subprocess.Popen, str]:
         "--port", "0",
         "--max-inflight", str(args.max_inflight),
         "--batch-window", str(args.batch_window),
+        "--exec-workers", str(args.exec_workers),
     ]
+    if args.trace_dir:
+        cmd += ["--trace-dir", args.trace_dir, "--trace-slow-ms", "0"]
     env = dict(os.environ)
     src = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
     env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get("PYTHONPATH", "")
@@ -127,7 +143,7 @@ def run_phase(
     expected: list[CSRMatrix],
     clients: int,
     requests_each: int,
-) -> dict:
+) -> tuple[dict, list[float]]:
     """Fire ``clients`` threads, each issuing ``requests_each`` multiplies.
 
     Client ``i`` uses structure ``matrices[i % len(matrices)]`` — pass one
@@ -168,7 +184,7 @@ def run_phase(
     total = clients * requests_each
     lowers = stats_after["lowers"] - stats_before["lowers"]
     latencies.sort()
-    return {
+    summary = {
         "clients": clients,
         "requests": total,
         "wall_seconds": wall,
@@ -181,6 +197,38 @@ def run_phase(
         "symbolic_lowerings": lowers,
         "requests_per_lowering": total / lowers if lowers else None,
     }
+    return summary, latencies
+
+
+def check_latency_agreement(
+    client_latencies: list[float], server_latency: dict
+) -> dict:
+    """Server histogram quantiles must agree with client wall clocks.
+
+    The server rounds each quantile up to a sqrt(2)-spaced bucket bound and
+    clients additionally measure connection/serialisation overhead, so
+    "agree" means within a 2.5x factor plus a 10 ms absolute floor, in both
+    directions.
+    """
+    ordered = sorted(client_latencies)
+    agreement = {}
+    for name, q in (("p50", 0.50), ("p99", 0.99)):
+        client_ms = ordered[min(len(ordered) - 1, int(q * len(ordered)))] * 1e3
+        server_ms = server_latency[name]
+        ok = (
+            server_ms <= client_ms * 2.5 + 10.0
+            and client_ms <= server_ms * 2.5 + 10.0
+        )
+        agreement[name] = {
+            "client_ms": client_ms,
+            "server_ms": server_ms,
+            "agree": ok,
+        }
+        assert ok, (
+            f"server/client {name} disagree beyond bucket tolerance: "
+            f"server {server_ms:.2f}ms vs client {client_ms:.2f}ms"
+        )
+    return agreement
 
 
 def check_mixed_traffic(client: ServeClient, algorithm: str, adj: CSRMatrix) -> dict:
@@ -218,7 +266,13 @@ def check_mixed_traffic(client: ServeClient, algorithm: str, adj: CSRMatrix) -> 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=None, metavar="FILE",
-                        help="write results JSON here (e.g. BENCH_pr7.json)")
+                        help="write results JSON here (e.g. BENCH_pr8.json)")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="save the final /metrics scrape (Prometheus text)")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="server exports per-request Chrome traces here")
+    parser.add_argument("--exec-workers", type=int, default=2,
+                        help="server exec-pool width (local reference stays serial)")
     parser.add_argument("--clients", type=int, default=8)
     parser.add_argument("--requests-per-client", type=int, default=6)
     parser.add_argument("--size", type=int, default=300, metavar="N",
@@ -253,22 +307,39 @@ def main() -> int:
     try:
         workers = worker_pids(proc.pid)
         print(f"server up at {base} (pid {proc.pid})", flush=True)
-        shared_phase = run_phase(
+        shared_phase, shared_lat = run_phase(
             client, args.algorithm, [shared_pair], shared_expected,
             args.clients, args.requests_per_client,
         )
         print(f"shared:   {shared_phase['throughput_rps']:.1f} req/s, "
               f"{shared_phase['requests_per_lowering'] or 0:.1f} requests/lowering",
               flush=True)
-        distinct_phase = run_phase(
+        distinct_phase, distinct_lat = run_phase(
             client, args.algorithm, distinct_pairs, distinct_expected,
             args.clients, args.requests_per_client,
         )
         print(f"distinct: {distinct_phase['throughput_rps']:.1f} req/s, "
               f"{distinct_phase['requests_per_lowering'] or 0:.1f} requests/lowering",
               flush=True)
+        # Server-side view: the multiply route's streaming histogram must
+        # agree with the client wall clocks collected above.
+        phase_stats = client.get("/stats")
+        server_latency = phase_stats["serving"]["routes"]["multiply"]["latency_ms"]
+        agreement = check_latency_agreement(shared_lat + distinct_lat, server_latency)
+        print(f"latency agreement: server p50={server_latency['p50']:.2f}ms "
+              f"p99={server_latency['p99']:.2f}ms "
+              f"(client p50={agreement['p50']['client_ms']:.2f}ms "
+              f"p99={agreement['p99']['client_ms']:.2f}ms)", flush=True)
         mixed = check_mixed_traffic(client, args.algorithm, shared)
         print("mixed multiply/pagerank traffic bit-identical to local path", flush=True)
+        metrics_text = client.get_text("/metrics")
+        metrics_families = len(validate_exposition(metrics_text))
+        print(f"/metrics scrape valid ({metrics_families} metric families)",
+              flush=True)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(metrics_text)
+            print(f"wrote {args.metrics_out}", flush=True)
         final_stats = client.get("/stats")
         workers |= worker_pids(proc.pid)
     finally:
@@ -291,12 +362,22 @@ def main() -> int:
     assert amortised is not None and amortised > 1, (
         f"no amortisation under shared-structure load: {amortised}"
     )
+    traces_exported = (
+        len(glob.glob(os.path.join(args.trace_dir, "*.trace.json")))
+        if args.trace_dir else None
+    )
+    if args.trace_dir:
+        assert traces_exported, f"no traces exported to {args.trace_dir}"
+        print(f"{traces_exported} request traces in {args.trace_dir}", flush=True)
 
     payload = {
         "description": (
             "repro serve under concurrent load: shared vs distinct operand "
             "structures, responses asserted bit-identical to the batch "
-            "Runtime path, amortisation factor = requests per symbolic lowering"
+            "Runtime path (exec pool enabled server-side), amortisation "
+            "factor = requests per symbolic lowering, server-histogram "
+            "latency asserted against client wall clocks, /metrics scrape "
+            "schema-validated"
         ),
         "engine": args.algorithm,
         "python": platform.python_version(),
@@ -306,11 +387,22 @@ def main() -> int:
         "server": {
             "max_inflight": args.max_inflight,
             "batch_window": args.batch_window,
+            "exec_workers": args.exec_workers,
         },
         "shared_structure": shared_phase,
         "distinct_structures": distinct_phase,
+        "server_latency_ms": server_latency,
+        "latency_agreement": agreement,
         "mixed_traffic": mixed,
         "batching": final_stats["batching"],
+        "serving": {
+            key: final_stats["serving"][key]
+            for key in ("queue_depth", "inflight_flops", "coalescence_factor",
+                        "estimate_fallbacks", "traces_written")
+        },
+        "exec": final_stats["runtime"]["exec"],
+        "metrics_families": metrics_families,
+        "traces_exported": traces_exported,
         "amortisation_factor": amortised,
         "bit_identical": True,
         "clean_shutdown": shutdown,

@@ -13,9 +13,13 @@ and checks each one *without executing anything*:
 * ``python tools/script.py`` lines and inline file references
   (``tools/...``, ``docs/...``, ``src/...``, ``tests/...``) must exist on
   disk.
-* every option of the ``serve`` subparser must be mentioned in README.md —
-  the serving front-end is configured entirely through its flags, so an
-  undocumented flag is a docs bug.
+* every option of the ``serve`` subparser must be mentioned in README.md
+  AND in the docs/OPERATIONS.md runbook — the serving front-end is
+  configured entirely through its flags, so an undocumented flag is a docs
+  bug.
+* every field the ``/stats`` payload can contain
+  (:func:`repro.serve.server.stats_field_names`) must appear backticked in
+  the docs/OPERATIONS.md glossary — operators debug from those names.
 
 Inline spans containing ``<`` are templates (``repro experiment <name>``)
 and are skipped; fenced commands must be concrete.  Exits non-zero listing
@@ -43,7 +47,7 @@ sys.path.insert(0, str(ROOT / "src"))
 from repro.cli import build_parser  # noqa: E402
 from repro.datasets.catalog import list_names  # noqa: E402
 
-DOCS = ["README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md"]
+DOCS = ["README.md", "EXPERIMENTS.md", "docs/ARCHITECTURE.md", "docs/OPERATIONS.md"]
 
 _INLINE = re.compile(r"`([^`]+)`")
 _ENV_ASSIGN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*=")
@@ -163,12 +167,48 @@ def _serve_option_strings() -> list[str]:
 
 
 def check_serve_flags() -> list[tuple[str, int, str, str]]:
-    """Every serve flag must appear in README.md's CLI reference."""
-    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    """Every serve flag must appear in README.md AND the operator runbook."""
+    failures = []
+    for doc in ("README.md", "docs/OPERATIONS.md"):
+        path = ROOT / doc
+        text = path.read_text(encoding="utf-8") if path.exists() else ""
+        failures.extend(
+            (doc, 0, f"serve flag {flag}", f"not documented in {doc}")
+            for flag in _serve_option_strings()
+            if flag not in text
+        )
+    return failures
+
+
+def check_stats_glossary() -> list[tuple[str, int, str, str]]:
+    """Every possible ``/stats`` field must be in the OPERATIONS glossary.
+
+    Field names come from :func:`repro.serve.server.stats_field_names` — the
+    same schema walk a server test asserts covers live payloads — and must
+    appear backticked somewhere in docs/OPERATIONS.md.
+    """
+    from repro.serve.server import stats_field_names
+
+    path = ROOT / "docs/OPERATIONS.md"
+    if not path.exists():
+        return []  # the missing file is already reported by main()
+    documented = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if not in_fence:  # fence contents would pair backticks across lines
+            documented.update(_INLINE.findall(line))
     return [
-        ("README.md", 0, f"serve flag {flag}", "not documented in README.md")
-        for flag in _serve_option_strings()
-        if flag not in readme
+        (
+            "docs/OPERATIONS.md",
+            0,
+            f"/stats field {name}",
+            "missing from the OPERATIONS.md glossary",
+        )
+        for name in sorted(stats_field_names())
+        if name not in documented
     ]
 
 
@@ -185,9 +225,13 @@ def main() -> int:
             error = check_command(cmd)
             if error is not None:
                 failures.append((doc, lineno, cmd, error))
-    serve_failures = check_serve_flags()
-    checked += len(_serve_option_strings())
-    failures.extend(serve_failures)
+    failures.extend(check_serve_flags())
+    checked += 2 * len(_serve_option_strings())
+    glossary_failures = check_stats_glossary()
+    from repro.serve.server import stats_field_names
+
+    checked += len(stats_field_names())
+    failures.extend(glossary_failures)
     for doc, lineno, cmd, error in failures:
         print(f"{doc}:{lineno}: {cmd!r}: {error}", file=sys.stderr)
     status = "FAILED" if failures else "ok"
