@@ -39,6 +39,13 @@ verified bit-identical at selection) and ``--trace FILE`` (record the whole
 invocation and write a Chrome trace); ``run`` accepts ``--exec-workers``,
 ``--exec-partitioner``, ``--kernel-backend`` and ``--trace`` too.  Caching
 defaults to on, under ``~/.cache/repro``.
+
+``run``, ``compare`` and ``bench`` additionally accept the out-of-core
+flags (:mod:`repro.oocore`): ``--mem-budget BYTES`` runs the numeric plane
+chunked into row panels with disk spilling (bit-identical to in-memory),
+``--spill-dir DIR`` places the crash-safe spill store, and ``--full-scale``
+resolves datasets at the paper's published dimensions instead of the
+stand-in scale.
 """
 
 from __future__ import annotations
@@ -124,6 +131,31 @@ def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: The out-of-core flag set, exposed for tools/check_docs.py.
+OOCORE_FLAGS = ("--mem-budget", "--full-scale", "--spill-dir")
+
+
+def _add_oocore_flags(parser: argparse.ArgumentParser) -> None:
+    """Out-of-core execution flags shared by run/compare/bench."""
+    parser.add_argument(
+        "--mem-budget", default=None, metavar="BYTES",
+        help="run the numeric plane out of core under this memory budget "
+             "(e.g. 4G, 512M): A is cut into row panels sized by the "
+             "precalculated workload sums and partials spill to disk; "
+             "results are bit-identical to the in-memory path",
+    )
+    parser.add_argument(
+        "--full-scale", action="store_true",
+        help="resolve datasets at the paper's published dimensions "
+             "(the catalog's @full variants) instead of the scaled stand-ins",
+    )
+    parser.add_argument(
+        "--spill-dir", default=None, metavar="DIR",
+        help="base directory for out-of-core spill files "
+             "(default $TMPDIR; cleaned up on exit and on SIGTERM)",
+    )
+
+
 def _cmd_datasets(args: argparse.Namespace, runtime: Runtime) -> int:
     rows = [
         [s.name, s.collection, s.operation, s.generator, s.paper_dim, s.paper_nnz_a]
@@ -136,6 +168,8 @@ def _cmd_datasets(args: argparse.Namespace, runtime: Runtime) -> int:
 
 
 def _cmd_run(args: argparse.Namespace, runtime: Runtime) -> int:
+    if args.mem_budget is not None:
+        return _run_out_of_core(args, runtime)
     stats = runtime.simulate(args.dataset, args.algorithm)
     if args.json:
         print(stats_to_json(stats))
@@ -150,6 +184,42 @@ def _cmd_run(args: argparse.Namespace, runtime: Runtime) -> int:
         )
     if args.iterations > 1:
         _print_iterative(runtime.iterate(args.dataset, args.algorithm, args.iterations))
+    engine_stats = runtime.exec_stats()
+    if engine_stats is not None:
+        from repro.metrics.execprof import format_exec_stats
+
+        print(f"  {format_exec_stats(engine_stats)}")
+    return 0
+
+
+def _run_out_of_core(args: argparse.Namespace, runtime: Runtime) -> int:
+    """``run --mem-budget``: the numeric plane through the chunked executor.
+
+    Skips the simulator and the bench runner's context cache entirely — at
+    full scale the in-memory reference expansion those paths materialise is
+    exactly what the budget forbids.
+    """
+    import time
+
+    from repro.metrics.oocprof import format_ooc_stats
+
+    name = runtime.resolve_dataset(args.dataset)
+    start = time.perf_counter()
+    result, ooc = runtime.multiply_chunked(args.dataset, args.algorithm)
+    seconds = time.perf_counter() - start
+    if args.json:
+        print(json.dumps({
+            "dataset": name,
+            "algorithm": args.algorithm,
+            "seconds": seconds,
+            "nnz_c": result.nnz,
+            "oocore": ooc.as_dict(),
+        }, indent=2))
+        return 0
+    print(f"{args.algorithm} on {name} (out of core):")
+    print(f"  total {seconds * 1e3:.1f} ms, nnz(C) = {result.nnz}")
+    for line in format_ooc_stats(ooc).splitlines():
+        print(f"  {line}")
     engine_stats = runtime.exec_stats()
     if engine_stats is not None:
         from repro.metrics.execprof import format_exec_stats
@@ -178,6 +248,8 @@ def _print_iterative(report) -> None:
 
 
 def _cmd_compare(args: argparse.Namespace, runtime: Runtime) -> int:
+    if args.mem_budget is not None:
+        return _compare_out_of_core(args, runtime)
     algorithms = list(runtime.algorithms().values())
     gpu = runtime.config.gpu
     with runtime.runner_scope():
@@ -195,7 +267,48 @@ def _cmd_compare(args: argparse.Namespace, runtime: Runtime) -> int:
     return 0
 
 
+def _compare_out_of_core(args: argparse.Namespace, runtime: Runtime) -> int:
+    """``compare --mem-budget``: every scheme chunked vs in-memory.
+
+    Runs each of the seven schemes both ways on the same operands and
+    asserts the out-of-core result is bit-identical (indptr, indices and
+    data all ``array_equal``); exits non-zero on any divergence.
+    """
+    import numpy as np
+
+    ctx = runtime.context(args.dataset)
+    rows = []
+    mismatches = 0
+    for algo in runtime.algorithms().values():
+        with runtime.exec_scope():
+            reference = algo.multiply(ctx)
+        chunked, ooc = runtime.multiply_chunked_operands(algo, ctx.a_csr, ctx.b_csr)
+        identical = (
+            np.array_equal(reference.indptr, chunked.indptr)
+            and np.array_equal(reference.indices, chunked.indices)
+            and np.array_equal(reference.data, chunked.data)
+        )
+        mismatches += not identical
+        rows.append([
+            algo.name,
+            "yes" if identical else "NO",
+            ooc.n_panels,
+            ooc.spill_count,
+            ooc.merge_rounds,
+        ])
+    print(format_table(
+        ["algorithm", "bit-identical", "panels", "spills", "merge rounds"], rows,
+        title=f"{args.dataset}: out-of-core ({args.mem_budget}) vs in-memory",
+    ))
+    if mismatches:
+        print(f"error: {mismatches} scheme(s) diverged out of core", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace, runtime: Runtime) -> int:
+    if args.mem_budget is not None:
+        return _bench_out_of_core(args, runtime)
     gpu = runtime.config.gpu
     datasets = args.datasets or list_names(args.collection)
     if not datasets:
@@ -223,6 +336,49 @@ def _cmd_bench(args: argparse.Namespace, runtime: Runtime) -> int:
         )
     if args.out:
         payload = [result_to_dict(res) for res in results.values()]
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {len(payload)} results to {args.out}")
+    return 0
+
+
+def _bench_out_of_core(args: argparse.Namespace, runtime: Runtime) -> int:
+    """``bench --mem-budget``: the numeric grid through the chunked executor.
+
+    No simulator and no result cache — the interesting numbers here are
+    wall-clock and the memory envelope (panels, spills, peak RSS), which are
+    host-dependent and therefore never memoised.  ``--out`` records each
+    cell's full ooc stats.
+    """
+    import time
+
+    datasets = args.datasets or list_names(args.collection)
+    if not datasets:
+        raise ReproError("no datasets selected; pass names or --collection")
+    rows, payload = [], []
+    for dataset in datasets:
+        name = runtime.resolve_dataset(dataset)
+        for algo in runtime.algorithms().values():
+            start = time.perf_counter()
+            result, ooc = runtime.multiply_chunked(dataset, algo.name)
+            seconds = time.perf_counter() - start
+            rows.append([
+                name, algo.name, seconds * 1e3, ooc.n_panels,
+                ooc.spill_count, ooc.peak_rss_bytes // (1 << 20),
+            ])
+            payload.append({
+                "dataset": name,
+                "algorithm": algo.name,
+                "seconds": seconds,
+                "nnz_c": result.nnz,
+                "oocore": ooc.as_dict(),
+            })
+    print(format_table(
+        ["dataset", "algorithm", "time ms", "panels", "spills", "peak RSS MiB"],
+        rows,
+        title=f"out-of-core bench grid (budget {args.mem_budget})",
+    ))
+    if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=2)
         print(f"wrote {len(payload)} results to {args.out}")
@@ -341,12 +497,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_exec_workers_flag(p)
     _add_trace_flag(p)
+    _add_oocore_flags(p)
     p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("compare", help="all schemes on one dataset")
     p.add_argument("dataset")
     p.add_argument("--gpu", default=TITAN_XP.name)
     _add_exec_flags(p)
+    _add_oocore_flags(p)
     p.set_defaults(func=_cmd_compare)
 
     p = sub.add_parser("bench", help="run a dataset x algorithm grid via the shared runner")
@@ -355,6 +513,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpu", default=TITAN_XP.name)
     p.add_argument("--out", default=None, metavar="FILE", help="write results as JSON")
     _add_exec_flags(p)
+    _add_oocore_flags(p)
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("plan", help="inspect ExecutionPlan lowerings")

@@ -22,7 +22,19 @@ from typing import Any
 
 from repro.errors import DatasetError
 
-__all__ = ["DatasetSpec", "register", "get_spec", "list_names", "list_specs"]
+__all__ = [
+    "DatasetSpec",
+    "FULL_SCALE_SUFFIX",
+    "full_scale_spec",
+    "register",
+    "get_spec",
+    "list_names",
+    "list_specs",
+]
+
+#: Appending this to a catalog name (``loc_gowalla@full``) selects the
+#: dataset at the *paper's* published scale instead of the stand-in scale.
+FULL_SCALE_SUFFIX = "@full"
 
 
 @dataclass(frozen=True)
@@ -75,13 +87,73 @@ def register(spec: DatasetSpec) -> DatasetSpec:
 
 
 def get_spec(name: str) -> DatasetSpec:
-    """Look up a spec by name, raising :class:`DatasetError` if unknown."""
+    """Look up a spec by name, raising :class:`DatasetError` if unknown.
+
+    A ``@full`` suffix (see :data:`FULL_SCALE_SUFFIX`) resolves the base
+    entry and rescales its generator to the paper's published dimensions via
+    :func:`full_scale_spec`.  Full-scale specs are derived on demand and
+    cached; they never appear in :func:`list_names`.
+    """
     _ensure_populated()
+    if name.endswith(FULL_SCALE_SUFFIX):
+        return full_scale_spec(name[: -len(FULL_SCALE_SUFFIX)])
     try:
         return _REGISTRY[name]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise DatasetError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+#: Derived full-scale specs, keyed by base name (lazy, not in the registry).
+_FULL_SCALE: dict[str, DatasetSpec] = {}
+
+
+def full_scale_spec(base_name: str) -> DatasetSpec:
+    """Derive the paper-scale variant of a registered stand-in dataset.
+
+    The stand-in's generator keeps its shape parameters but is rescaled to
+    the paper's Table II numbers: ``banded_regular`` grows ``n`` to
+    ``paper_dim`` (per-row degree already matches the paper exactly);
+    ``power_law`` grows ``n`` to ``paper_dim`` and its nnz target to
+    ``paper_nnz_a``.  Entries without published dimensions (the synthetic
+    families) have no full-scale form and raise
+    :class:`~repro.errors.DatasetError`.
+    """
+    base = get_spec(base_name)
+    name = base.name + FULL_SCALE_SUFFIX
+    cached = _FULL_SCALE.get(base.name)
+    if cached is not None:
+        return cached
+    if base.paper_dim <= 0:
+        raise DatasetError(
+            f"dataset {base.name!r} has no published paper scale; "
+            "--full-scale applies to the florida/stanford stand-ins"
+        )
+    params = dict(base.params)
+    if base.generator == "banded_regular":
+        params["n"] = base.paper_dim
+    elif base.generator == "power_law":
+        params["n"] = base.paper_dim
+        params["nnz"] = base.paper_nnz_a
+    else:
+        raise DatasetError(
+            f"generator {base.generator!r} of {base.name!r} cannot be "
+            "rescaled to paper dimensions"
+        )
+    spec = DatasetSpec(
+        name=name,
+        collection=base.collection,
+        operation=base.operation,
+        generator=base.generator,
+        params=params,
+        seed=base.seed,
+        paper_dim=base.paper_dim,
+        paper_nnz_a=base.paper_nnz_a,
+        paper_nnz_c=base.paper_nnz_c,
+        skew_class=base.skew_class,
+    )
+    _FULL_SCALE[base.name] = spec
+    return spec
 
 
 def list_names(collection: str | None = None) -> list[str]:

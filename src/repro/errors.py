@@ -50,3 +50,9 @@ class KernelBackendError(ReproError):
     """A kernel backend is unknown, unavailable (missing optional dependency),
     or failed its selection-time bit-identity verification against the NumPy
     reference implementation."""
+
+
+class OutOfCoreError(ReproError):
+    """The out-of-core executor cannot honour its configuration: an
+    unparseable memory budget, an unusable spill directory, or a spilled
+    partial that cannot be read back."""

@@ -1,9 +1,11 @@
-"""repro.kernels — pluggable backends for the four numeric primitives.
+"""repro.kernels — pluggable backends for the numeric primitives.
 
-Every numeric path in the library reduces to four primitives: the two
+Every numeric path in the library reduces to six primitives: the two
 symbolic expansions (outer-product and Gustavson row-product), the coalescing
-merge's symbolic half, and the two segmented reductions (the merge's
-segmented sum and recipe replay's gather-multiply-sum).  This package owns
+merge's symbolic half, the two segmented reductions (the merge's
+segmented sum and recipe replay's gather-multiply-sum), and the k-way merge
+of sorted partial-product streams the out-of-core combiner
+(:mod:`repro.oocore`) runs its merge tree on.  This package owns
 their implementations as swappable *backends*:
 
 * ``numpy`` — the always-available vectorised reference
@@ -66,7 +68,7 @@ BACKEND_NAMES = ("numpy", "numba")
 
 @dataclass(frozen=True)
 class KernelBackend:
-    """One implementation of the four numeric primitives.
+    """One implementation of the numeric primitives.
 
     All functions take and return plain NumPy arrays; signatures are
     documented on the reference implementations in
@@ -81,6 +83,7 @@ class KernelBackend:
     merge_symbolic: Callable
     segmented_sum: Callable
     gather_multiply_sum: Callable
+    kway_merge: Callable
     verified: bool = False
 
 
@@ -91,6 +94,7 @@ NUMPY_BACKEND = KernelBackend(
     merge_symbolic=numpy_backend.merge_symbolic,
     segmented_sum=numpy_backend.segmented_sum,
     gather_multiply_sum=numpy_backend.gather_multiply_sum,
+    kway_merge=numpy_backend.kway_merge,
     verified=True,
 )
 
@@ -278,4 +282,19 @@ def verify_backend(backend: KernelBackend) -> None:
         ref.gather_multiply_sum(
             a_data, b_data, a_idx[order], b_idx[order], group, n_groups
         ),
+    )
+    # k-way merge: three interleaved (hence individually ascending, mutually
+    # overlapping, duplicate-bearing) slices of the sorted product stream.
+    sorted_keys, sorted_vals = (
+        (rows.astype(np.int64) * np.int64(n_cols) + cols)[order], vals[order]
+    )
+    streams = [(sorted_keys[s::3], sorted_vals[s::3]) for s in range(3)]
+    m_keys = np.concatenate([k for k, _ in streams])
+    m_vals = np.concatenate([v for _, v in streams])
+    starts = np.zeros(4, dtype=np.int64)
+    np.cumsum([len(k) for k, _ in streams], out=starts[1:])
+    _require_equal(
+        backend.name, "kway_merge",
+        backend.kway_merge(m_keys, m_vals, starts),
+        ref.kway_merge(m_keys, m_vals, starts),
     )

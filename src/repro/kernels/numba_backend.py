@@ -1,4 +1,4 @@
-"""The optional numba-compiled backend for the four numeric primitives.
+"""The optional numba-compiled backend for the numeric primitives.
 
 Everything numba lives behind :func:`load`, so importing this module never
 requires numba: callers go through :func:`repro.kernels.get_backend`, which
@@ -14,7 +14,11 @@ Bit-identity argument, per primitive:
   from it) is identical to NumPy's stable ``argsort``;
 * the reductions accumulate float64 products in ascending stream order —
   the order :func:`numpy.ufunc.at` applies repeated indices — so every
-  output entry is the same sequence of float64 additions, bit for bit.
+  output entry is the same sequence of float64 additions, bit for bit;
+* the k-way merge consumes equal keys in (stream index, position) order —
+  exactly the order a stable sort of the concatenated streams produces — and
+  accumulates each output value from 0.0 upward, matching
+  :func:`numpy.ufunc.at`'s left fold addition for addition.
 
 The selection-time verification (:func:`repro.kernels.verify_backend`)
 asserts all of this against the NumPy reference before the backend is ever
@@ -150,11 +154,52 @@ def load() -> dict:  # pragma: no cover - requires numba wheels
             a_gather, b_gather, group, int(n_groups),
         )
 
+    @njit(cache=True)
+    def _kway_merge(keys, vals, starts, out_keys, out_vals):
+        k = len(starts) - 1
+        pos = starts[:-1].copy()
+        n_out = 0
+        while True:
+            best = -1
+            best_key = np.int64(0)
+            for s in range(k):
+                if pos[s] < starts[s + 1]:
+                    key = keys[pos[s]]
+                    if best < 0 or key < best_key:
+                        best = s
+                        best_key = key
+            if best < 0:
+                break
+            v = vals[pos[best]]
+            pos[best] += 1
+            if n_out > 0 and out_keys[n_out - 1] == best_key:
+                out_vals[n_out - 1] += v
+            else:
+                out_keys[n_out] = best_key
+                out_vals[n_out] = 0.0
+                out_vals[n_out] += v
+                n_out += 1
+        return n_out
+
+    def kway_merge(keys, vals, starts):
+        if len(keys) == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        out_keys = np.empty(len(keys), dtype=np.int64)
+        out_vals = np.empty(len(keys), dtype=np.float64)
+        n_out = _kway_merge(
+            np.ascontiguousarray(keys, dtype=np.int64),
+            np.ascontiguousarray(vals, dtype=np.float64),
+            np.ascontiguousarray(starts, dtype=np.int64),
+            out_keys, out_vals,
+        )
+        return out_keys[:n_out].copy(), out_vals[:n_out].copy()
+
     _CACHE = {
         "expand_outer_indices": expand_outer_indices,
         "expand_row_indices": expand_row_indices,
         "merge_symbolic": merge_symbolic,
         "segmented_sum": segmented_sum,
         "gather_multiply_sum": gather_multiply_sum,
+        "kway_merge": kway_merge,
     }
     return _CACHE

@@ -22,7 +22,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["row_nnz_upper_bound", "estimate_output_nnz", "multiply_flops"]
+__all__ = [
+    "row_nnz_upper_bound",
+    "estimate_output_nnz",
+    "multiply_flops",
+    "row_flops",
+]
 
 #: Flop estimates at or beyond this magnitude raise :class:`OverflowError`
 #: from :func:`multiply_flops` — callers budgeting in int64 arithmetic (the
@@ -76,3 +81,26 @@ def multiply_flops(a, b) -> int:
     if total < 0 or total >= FLOPS_OVERFLOW_LIMIT:
         raise OverflowError(f"flop estimate {total} exceeds budget arithmetic range")
     return total
+
+
+def row_flops(a, b) -> np.ndarray:
+    """Per-output-row multiply work: products landing in each row of ``C``.
+
+    The per-row resolution of :func:`multiply_flops` (its sum equals that
+    total) and the same quantity as :attr:`MultiplyContext.row_work`, but
+    computed from the operands' index structure alone — no context, no CSC
+    conversion — so the out-of-core panel planner can size row panels of A
+    against a memory budget before anything is expanded.
+    """
+    n_rows = a.shape[0]
+    out = np.zeros(n_rows, dtype=np.int64)
+    if a.shape[1] != b.shape[0]:
+        return out
+    indices = np.asarray(a.indices, dtype=np.int64)
+    if indices.size == 0:
+        return out
+    b_row_nnz = np.diff(np.asarray(b.indptr, dtype=np.int64))
+    a_indptr = np.asarray(a.indptr, dtype=np.int64)
+    row_of = np.repeat(np.arange(n_rows, dtype=np.int64), np.diff(a_indptr))
+    np.add.at(out, row_of, b_row_nnz[indices])
+    return out

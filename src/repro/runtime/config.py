@@ -60,6 +60,13 @@ class RuntimeConfig:
         plan_cache_entries: LRU ``max_entries`` for each pooled session's
             :class:`~repro.plan.cache.PlanCache` (``None`` = unbounded).
         sessions_per_tenant: LRU cap on warm sessions pooled per tenant.
+        mem_budget: out-of-core memory budget in bytes (``None`` = in-memory
+            execution); numeric multiplies route through
+            :func:`repro.oocore.chunked_multiply` when set.
+        spill_dir: base directory for the out-of-core spill store
+            (``None`` = ``$TMPDIR``).
+        full_scale: resolve dataset names at the paper's published scale
+            (the catalog's ``@full`` variants) instead of the stand-ins.
     """
 
     gpu: GPUConfig = field(default_factory=lambda: TITAN_XP)
@@ -72,6 +79,9 @@ class RuntimeConfig:
     kernel_backend: str | None = None
     plan_cache_entries: int | None = DEFAULT_PLAN_CACHE_ENTRIES
     sessions_per_tenant: int = DEFAULT_SESSIONS_PER_TENANT
+    mem_budget: int | None = None
+    spill_dir: str | None = None
+    full_scale: bool = False
 
     def __post_init__(self) -> None:
         if self.exec_partitioner not in rexec.PARTITIONER_NAMES:
@@ -82,6 +92,10 @@ class RuntimeConfig:
         if self.sessions_per_tenant < 1:
             raise ConfigurationError(
                 f"sessions_per_tenant must be >= 1, got {self.sessions_per_tenant}"
+            )
+        if self.mem_budget is not None and self.mem_budget <= 0:
+            raise ConfigurationError(
+                f"mem_budget must be positive, got {self.mem_budget}"
             )
 
     @property
@@ -119,10 +133,20 @@ class RuntimeConfig:
             ("kernel_backend", "kernel_backend"),
             ("plan_cache_entries", "plan_cache_entries"),
             ("sessions_per_tenant", "sessions_per_tenant"),
+            ("spill_dir", "spill_dir"),
         ]:
             value = getattr(args, flag, None)
             if value is not None:
                 fields[attr] = value
+        budget = getattr(args, "mem_budget", None)
+        if budget is not None:
+            # Lazy import: repro.oocore pulls in the runtime package, so a
+            # top-level import here would be circular.
+            from repro.oocore.budget import parse_mem_budget
+
+            fields["mem_budget"] = parse_mem_budget(budget)
         if getattr(args, "no_cache", False):
             fields["use_result_cache"] = False
+        if getattr(args, "full_scale", False):
+            fields["full_scale"] = True
         return replace(base, **fields)

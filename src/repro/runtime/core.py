@@ -136,6 +136,7 @@ class Runtime:
         self._requests = 0
         self._engine: rexec.ExecEngine | None = None
         self._algos: dict[str, SpGEMMAlgorithm] | None = None
+        self._last_ooc_stats = None
         self._closed = False
         self._scopes = ExitStack()
         # Backend selection verifies bit-identity up front: an unavailable
@@ -242,10 +243,23 @@ class Runtime:
         return self._result_cache
 
     # -- datasets and algorithms ---------------------------------------
+    def resolve_dataset(self, dataset: str) -> str:
+        """Apply the config's full-scale switch to a dataset name.
+
+        With :attr:`RuntimeConfig.full_scale` set, bare catalog names gain
+        the ``@full`` suffix so every load in this runtime resolves at the
+        paper's published scale; already-suffixed names pass through.
+        """
+        from repro.datasets.catalog import FULL_SCALE_SUFFIX
+
+        if self.config.full_scale and not dataset.endswith(FULL_SCALE_SUFFIX):
+            return dataset + FULL_SCALE_SUFFIX
+        return dataset
+
     def context(self, dataset: str):
         """Load a dataset's (cached) multiply context."""
         self._require_open()
-        return runner.get_context(dataset)
+        return runner.get_context(self.resolve_dataset(dataset))
 
     def algorithms(self) -> dict[str, SpGEMMAlgorithm]:
         """The seven paper schemes, resolved once and shared.
@@ -351,6 +365,15 @@ class Runtime:
         the warm session, exec scope installed) stages.
         """
         fp = structure_fingerprint(a, a if b is None else b)
+        if self.config.mem_budget is not None:
+            with trace.stage("numeric"):
+                result, _ = self.multiply_chunked_operands(algorithm, a, b)
+            with self._lock:
+                self._requests += 1
+            trace.add(replayed=0)
+            return MultiplyOutcome(
+                result=result, fingerprint=fp, replayed=False, tenant=tenant
+            )
         with trace.stage("session"):
             pooled = self.session(algorithm, structure=fp, tenant=tenant)
             pooled.lock.acquire()
@@ -371,6 +394,60 @@ class Runtime:
             replayed=replayed,
             tenant=tenant,
         )
+
+    # -- numeric plane: out-of-core ------------------------------------
+    def multiply_chunked_operands(
+        self,
+        algorithm: str | SpGEMMAlgorithm,
+        a: CSRMatrix,
+        b: CSRMatrix | None = None,
+    ):
+        """``a @ b`` through the out-of-core chunked executor.
+
+        Uses the config's :attr:`~RuntimeConfig.mem_budget` and
+        :attr:`~RuntimeConfig.spill_dir`; returns ``(result, OocStats)``
+        (bit-identical to the in-memory path).  The stats of the most
+        recent chunked multiply are kept for :meth:`ooc_stats`.
+        """
+        from repro.oocore import chunked_multiply
+
+        self._require_open()
+        if self.config.mem_budget is None:
+            raise ReproError("runtime has no mem_budget configured")
+        algo = (
+            self.algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        )
+        with self.exec_scope():
+            result, stats = chunked_multiply(
+                algo,
+                a,
+                b,
+                mem_budget=self.config.mem_budget,
+                spill_dir=self.config.spill_dir,
+            )
+        with self._lock:
+            self._last_ooc_stats = stats
+        return result, stats
+
+    def multiply_chunked(self, dataset: str, algorithm: str):
+        """One dataset through the out-of-core executor, by name.
+
+        Loads the operands directly from :mod:`repro.datasets.loader` —
+        *not* through the bench runner's context cache, whose
+        :class:`MultiplyContext` materialises the full reference expansion;
+        at full scale only the panel path is affordable.  Returns
+        ``(result, OocStats)``.
+        """
+        from repro.datasets import loader
+
+        self._require_open()
+        loaded = loader.load(self.resolve_dataset(dataset))
+        return self.multiply_chunked_operands(algorithm, loaded.a, loaded.b)
+
+    def ooc_stats(self):
+        """The most recent chunked multiply's :class:`OocStats`, or ``None``."""
+        with self._lock:
+            return self._last_ooc_stats
 
     # -- graph apps on warm sessions -----------------------------------
     def pagerank(

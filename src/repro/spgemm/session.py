@@ -100,3 +100,26 @@ class IterativeSession:
         """Semiring product with the same structure-reuse discipline."""
         with rexec.engine_scope(self.exec_engine):
             return self.cache.semiring_multiply(a, b, semiring)
+
+    def multiply_chunked(
+        self,
+        a: CSRMatrix,
+        b: CSRMatrix | None = None,
+        *,
+        mem_budget: int | str,
+        spill_dir: str | None = None,
+    ):
+        """``a @ b`` under a memory budget via :mod:`repro.oocore`.
+
+        Runs the out-of-core chunked executor with this session's exec
+        engine ambient; returns ``(result, OocStats)``.  The plan cache is
+        deliberately bypassed — per-panel recipes would pin budget-sized
+        gather arrays in the LRU — but the result is bit-identical to
+        :meth:`multiply` on the same operands.
+        """
+        from repro.oocore import chunked_multiply
+
+        with rexec.engine_scope(self.exec_engine):
+            return chunked_multiply(
+                self.algorithm, a, b, mem_budget=mem_budget, spill_dir=spill_dir
+            )

@@ -101,6 +101,7 @@ class TestVerification:
             "merge_symbolic",
             "segmented_sum",
             "gather_multiply_sum",
+            "kway_merge",
         ],
     )
     def test_corrupted_backend_is_refused(self, primitive):
@@ -125,6 +126,7 @@ class TestVerification:
                 "merge_symbolic",
                 "segmented_sum",
                 "gather_multiply_sum",
+                "kway_merge",
             )
         }
         table[primitive] = corrupt

@@ -1,0 +1,122 @@
+"""Schema-validate every committed ``BENCH_*.json`` artifact.
+
+The repo root accumulates one BENCH artifact per PR (``BENCH_pr6.json``,
+...).  They are read by humans and trend tooling long after the PR merges,
+so CI enforces a minimal contract here instead of letting the schema drift
+silently:
+
+* the filename must be ``BENCH_pr<N>.json`` and the payload a JSON object;
+* every artifact carries a non-empty ``description`` and the ``python``
+  version that produced it;
+* artifacts from PR 5 onward carry host provenance — ``platform`` and
+  ``host_cpu_count`` — because from there the numbers include process-pool
+  speedups that are meaningless without knowing the host's core count
+  (earlier artifacts are grandfathered);
+* ``schema_version`` (absent = 0) must be a non-negative integer and
+  non-decreasing in PR order — a newer PR may upgrade the schema, never
+  silently downgrade it;
+* a ``bit_identical`` field, when present, must be ``true`` — an artifact
+  recording timings for wrong results must never be committed.
+
+Runs as a tier-1 CI step.  Exits non-zero listing every violation.
+
+Usage::
+
+    python tools/check_bench.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_NAME = re.compile(r"^BENCH_pr(\d+)\.json$")
+
+#: Artifacts before this PR number predate the host-provenance contract.
+HOST_PROVENANCE_SINCE = 5
+
+
+def check_artifact(path: Path) -> list[str]:
+    """Validate one artifact; returns error strings (empty = valid)."""
+    match = _NAME.match(path.name)
+    if match is None:
+        return [f"{path.name}: does not match BENCH_pr<N>.json"]
+    errors = []
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path.name}: unreadable JSON ({exc})"]
+    if not isinstance(payload, dict):
+        return [f"{path.name}: payload must be a JSON object"]
+
+    description = payload.get("description")
+    if not isinstance(description, str) or not description.strip():
+        errors.append(f"{path.name}: missing or empty 'description'")
+    if not isinstance(payload.get("python"), str):
+        errors.append(f"{path.name}: missing 'python' version string")
+
+    pr = int(match.group(1))
+    if pr >= HOST_PROVENANCE_SINCE:
+        if not isinstance(payload.get("platform"), str):
+            errors.append(f"{path.name}: missing 'platform' host provenance")
+        cpus = payload.get("host_cpu_count")
+        if not isinstance(cpus, int) or cpus < 1:
+            errors.append(f"{path.name}: 'host_cpu_count' must be a positive int")
+
+    version = payload.get("schema_version", 0)
+    if not isinstance(version, int) or isinstance(version, bool) or version < 0:
+        errors.append(f"{path.name}: 'schema_version' must be a non-negative int")
+
+    if "bit_identical" in payload and payload["bit_identical"] is not True:
+        errors.append(f"{path.name}: 'bit_identical' is not true")
+    return errors
+
+
+def schema_version_of(path: Path) -> int:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return 0
+    version = payload.get("schema_version", 0) if isinstance(payload, dict) else 0
+    return version if isinstance(version, int) and not isinstance(version, bool) else 0
+
+
+def check_monotone(paths: list[Path]) -> list[str]:
+    """schema_version must never decrease as the PR number grows."""
+    numbered = sorted((int(m.group(1)), p) for p in paths if (m := _NAME.match(p.name)))
+    errors = []
+    high_pr, high_version = None, 0
+    for pr, path in numbered:
+        version = schema_version_of(path)
+        if version < high_version:
+            errors.append(
+                f"{path.name}: schema_version {version} is below "
+                f"BENCH_pr{high_pr}.json's {high_version} (must be monotone)"
+            )
+        else:
+            high_pr, high_version = pr, version
+    return errors
+
+
+def main() -> int:
+    paths = sorted(ROOT.glob("BENCH_*.json"))
+    if not paths:
+        print("check_bench: no BENCH_*.json artifacts found", file=sys.stderr)
+        return 1
+    failures = []
+    for path in paths:
+        failures.extend(check_artifact(path))
+    failures.extend(check_monotone(paths))
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+    status = "FAILED" if failures else "ok"
+    print(f"check_bench: {len(paths)} artifacts checked, {len(failures)} violations ({status})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,9 @@ and checks each one *without executing anything*:
   AND in the docs/OPERATIONS.md runbook — the serving front-end is
   configured entirely through its flags, so an undocumented flag is a docs
   bug.
+* every out-of-core flag (``repro.cli.OOCORE_FLAGS``) must be registered on
+  the ``run``, ``compare`` and ``bench`` subparsers and mentioned in both
+  README.md and EXPERIMENTS.md (where the full-scale instructions live).
 * every field the ``/stats`` payload can contain
   (:func:`repro.serve.server.stats_field_names`) must appear backticked in
   the docs/OPERATIONS.md glossary — operators debug from those names.
@@ -149,21 +152,26 @@ def check_command(cmd: str) -> str | None:
     return None if script.exists() else f"script {tokens[1]} does not exist"
 
 
-def _serve_option_strings() -> list[str]:
-    """Long option strings of the ``serve`` subparser (excluding --help)."""
+def _subparser_option_strings(command: str) -> list[str]:
+    """Long option strings of one subparser (excluding --help)."""
     parser = build_parser()
     subparsers = next(
         action
         for action in parser._actions
         if isinstance(action, argparse._SubParsersAction)
     )
-    serve = subparsers.choices["serve"]
+    sub = subparsers.choices[command]
     return sorted(
         opt
-        for action in serve._actions
+        for action in sub._actions
         for opt in action.option_strings
         if opt.startswith("--") and opt != "--help"
     )
+
+
+def _serve_option_strings() -> list[str]:
+    """Long option strings of the ``serve`` subparser (excluding --help)."""
+    return _subparser_option_strings("serve")
 
 
 def check_serve_flags() -> list[tuple[str, int, str, str]]:
@@ -175,6 +183,36 @@ def check_serve_flags() -> list[tuple[str, int, str, str]]:
         failures.extend(
             (doc, 0, f"serve flag {flag}", f"not documented in {doc}")
             for flag in _serve_option_strings()
+            if flag not in text
+        )
+    return failures
+
+
+def check_oocore_flags() -> list[tuple[str, int, str, str]]:
+    """The out-of-core flags must exist on run/compare/bench AND be documented.
+
+    ``repro.cli.OOCORE_FLAGS`` is the authoritative flag set; each flag must
+    be registered on every out-of-core-capable subparser (so the CLI cannot
+    silently drop one) and mentioned in README.md and EXPERIMENTS.md (the
+    full-scale instructions live there).
+    """
+    from repro.cli import OOCORE_FLAGS
+
+    failures = []
+    for command in ("run", "compare", "bench"):
+        options = _subparser_option_strings(command)
+        failures.extend(
+            (f"repro {command}", 0, f"oocore flag {flag}",
+             f"not registered on the {command} subparser")
+            for flag in OOCORE_FLAGS
+            if flag not in options
+        )
+    for doc in ("README.md", "EXPERIMENTS.md"):
+        path = ROOT / doc
+        text = path.read_text(encoding="utf-8") if path.exists() else ""
+        failures.extend(
+            (doc, 0, f"oocore flag {flag}", f"not documented in {doc}")
+            for flag in OOCORE_FLAGS
             if flag not in text
         )
     return failures
@@ -227,6 +265,10 @@ def main() -> int:
                 failures.append((doc, lineno, cmd, error))
     failures.extend(check_serve_flags())
     checked += 2 * len(_serve_option_strings())
+    from repro.cli import OOCORE_FLAGS
+
+    failures.extend(check_oocore_flags())
+    checked += 5 * len(OOCORE_FLAGS)
     glossary_failures = check_stats_glossary()
     from repro.serve.server import stats_field_names
 
